@@ -1,0 +1,57 @@
+"""Ablation benches for the dataflow's design choices (DESIGN.md section 5).
+
+These are not figures in the paper, but they quantify the choices the paper
+justifies analytically: the smallest channel step ``k = 1``, the balanced
+``b*x*y ~= R*z`` tiling, Psums kept in LRegs, and a Psum-dominated on-chip
+memory split.
+"""
+
+from repro.analysis.ablation import (
+    balance_ablation,
+    channel_step_ablation,
+    memory_split_ablation,
+    psum_location_ablation,
+)
+from repro.workloads.vgg import vgg16_conv_layers
+
+from conftest import run_once
+
+
+def test_ablation_channel_step(benchmark):
+    layer = vgg16_conv_layers()[7]  # conv4_1
+    rows = run_once(benchmark, channel_step_ablation, layer, steps=(1, 2, 4, 8, 16))
+    print("\nAblation: channel step k (conv4_1, 66.5 KB)")
+    for row in rows:
+        print(f"  k={row['k']:>2}: {row['dram_words'] / 5e5:.1f} MB")
+    totals = [row["dram_words"] for row in rows if row["dram_words"] is not None]
+    assert totals[0] == min(totals)
+
+
+def test_ablation_balance(benchmark):
+    layer = vgg16_conv_layers()[5]  # conv3_2
+    rows = run_once(benchmark, balance_ablation, layer)
+    print("\nAblation: u/(R*z) balance (conv3_2, 66.5 KB)")
+    for row in rows:
+        print(f"  target ratio {row['target_ratio']:<6}: {row['dram_words'] / 5e5:.1f} MB  ({row['tiling']})")
+    by_ratio = {row["target_ratio"]: row["dram_words"] for row in rows}
+    assert by_ratio[1.0] <= min(by_ratio[0.125], by_ratio[8.0])
+
+
+def test_ablation_psum_location(benchmark, vgg_layers):
+    result = run_once(benchmark, psum_location_ablation, layers=vgg_layers)
+    print("\nAblation: Psums in LRegs vs Psums in the GBuf")
+    print(f"  GBuf accesses, Psums in LRegs : {result['gbuf_accesses_psums_in_lregs'] / 5e5:.0f} MB")
+    print(f"  GBuf accesses, Psums in GBuf  : {result['gbuf_accesses_psums_in_gbuf'] / 5e5:.0f} MB")
+    print(f"  penalty: {result['penalty_factor']:.1f}x")
+    assert result["penalty_factor"] > 10.0
+
+
+def test_ablation_memory_split(benchmark, vgg_layers):
+    rows = run_once(benchmark, memory_split_ablation, layers=vgg_layers,
+                    psum_fractions=(0.5, 0.7, 0.9, 0.96))
+    print("\nAblation: share of on-chip memory given to Psums (66.5 KB total)")
+    for row in rows:
+        print(f"  psum fraction {row['psum_fraction']:.2f}: {row['dram_words'] / 5e5:.1f} MB")
+    totals = [row["dram_words"] for row in rows]
+    # Giving most of the memory to Psums is at least as good as a 50/50 split.
+    assert totals[-1] <= totals[0]

@@ -1,0 +1,43 @@
+"""Fig. 13: DRAM access volume vs. effective on-chip memory for every dataflow.
+
+The paper sweeps 16-256 KB in 16 KB steps; to keep the harness fast this
+bench uses a representative subset of capacities that still covers the whole
+range (including 66.5 KB and 173.5 KB, the capacities used in later figures).
+"""
+
+import math
+
+from repro.analysis.report import format_memory_sweep
+from repro.analysis.sweep import memory_sweep
+
+from conftest import run_once
+
+CAPACITIES_KIB = [16, 32, 66.5, 128, 173.5, 256]
+
+
+def test_fig13_memory_sweep(benchmark, vgg_layers):
+    sweep = run_once(benchmark, memory_sweep, capacities_kib=CAPACITIES_KIB, layers=vgg_layers)
+    print("\nFig. 13: DRAM access volume (GB) vs effective on-chip memory")
+    print(format_memory_sweep(sweep))
+
+    series = sweep["series"]
+    bound = series["Lower bound"]
+    ours = series["Ours"]
+    found = series["Found minimum"]
+
+    # The bound and our dataflow both shrink monotonically with more memory.
+    assert all(bound[i + 1] <= bound[i] + 1e-9 for i in range(len(bound) - 1))
+    assert all(ours[i + 1] <= ours[i] * 1.02 for i in range(len(ours) - 1))
+
+    for index in range(len(CAPACITIES_KIB)):
+        # Our dataflow sits close to the bound and the found minimum improves
+        # on it only marginally (paper: 10% and 4.5% on average).
+        assert ours[index] <= 1.45 * bound[index]
+        assert found[index] <= ours[index] + 1e-9
+        assert found[index] >= 0.80 * ours[index]
+        # Every baseline dataflow that fits is at least as expensive as ours.
+        for name, values in series.items():
+            if name in ("Lower bound", "Ours", "Found minimum"):
+                continue
+            if not math.isnan(values[index]):
+                assert ours[index] <= values[index] * 1.05, (name, CAPACITIES_KIB[index])

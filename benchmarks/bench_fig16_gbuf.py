@@ -1,0 +1,25 @@
+"""Fig. 16: per-layer GBuf access volume, our implementations vs. Eyeriss."""
+
+from repro.analysis.report import format_dict_rows
+from repro.analysis.sweep import gbuf_per_layer
+
+from conftest import run_once
+
+
+def test_fig16_gbuf_access(benchmark, vgg_layers):
+    rows = run_once(benchmark, gbuf_per_layer, layers=vgg_layers)
+    print("\nFig. 16: per-layer GBuf access volume (MB)")
+    print(format_dict_rows(rows))
+
+    assert len(rows) == 13
+    impl_keys = [key for key in rows[0] if key.startswith("implementation-")]
+    assert len(impl_keys) == 5
+    # Every implementation produces far less GBuf traffic than Eyeriss on
+    # every layer (the paper reports 10.9-15.8x network-wide).
+    for row in rows:
+        for key in impl_keys:
+            assert row[key] < row["eyeriss_mb"]
+    for key in impl_keys:
+        total_ours = sum(row[key] for row in rows)
+        total_eyeriss = sum(row["eyeriss_mb"] for row in rows)
+        assert total_eyeriss / total_ours > 3.0

@@ -1,0 +1,21 @@
+"""Fig. 17: per-layer register access volume vs. the Eq. (16) lower bound."""
+
+from repro.analysis.report import format_dict_rows
+from repro.analysis.sweep import reg_per_layer
+
+from conftest import run_once
+
+
+def test_fig17_reg_access(benchmark, vgg_layers):
+    rows = run_once(benchmark, reg_per_layer, layers=vgg_layers)
+    print("\nFig. 17: per-layer register access volume (GB)")
+    print(format_dict_rows(rows))
+
+    assert len(rows) == 13
+    impl_keys = [key for key in rows[0] if key.startswith("implementation-")]
+    for row in rows:
+        for key in impl_keys:
+            # Every implementation is above the bound but within ~25% of it
+            # (the paper reports 5.9-11.8% extra register traffic).
+            assert row[key] >= row["lower_bound_gb"] * 0.999
+            assert row[key] <= row["lower_bound_gb"] * 1.30

@@ -1,0 +1,37 @@
+"""Fig. 18: energy efficiency (pJ/MAC) of the five implementations vs. the bound."""
+
+from repro.analysis.energy_report import energy_report
+from repro.analysis.report import format_energy_report
+
+from conftest import run_once
+
+
+def test_fig18_energy_efficiency(benchmark, vgg_layers):
+    report = run_once(benchmark, energy_report, layers=vgg_layers)
+    print("\n" + format_energy_report(report))
+
+    rows = {row["implementation"]: row for row in report["implementations"]}
+    assert len(rows) == 5
+    for row in rows.values():
+        # Above the bound, but in its vicinity (paper: 37-87% gap).
+        assert 0.0 < row["gap"] < 1.3
+        components = row["components_pj_per_mac"]
+        # The accelerator is computation dominant: the MAC units are the
+        # single largest component.
+        assert components["MAC units"] == max(components.values())
+        # The GBufs are negligible thanks to their tiny size.
+        assert components["GBufs"] < 0.2
+
+    # Register energy per MAC falls as the PE count grows and LRegs shrink
+    # (implementation 1 -> 3 and 4 -> 5), the paper's main energy argument.
+    assert (
+        rows["implementation-1"]["components_pj_per_mac"]["LRegs"]
+        > rows["implementation-3"]["components_pj_per_mac"]["LRegs"]
+    )
+    assert (
+        rows["implementation-4"]["components_pj_per_mac"]["LRegs"]
+        > rows["implementation-5"]["components_pj_per_mac"]["LRegs"]
+    )
+    # On-chip energy efficiency beats Eyeriss's reported 22.1 pJ/MAC severalfold.
+    for row in rows.values():
+        assert row["eyeriss_on_chip_ratio"] > 2.0

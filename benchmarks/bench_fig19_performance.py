@@ -1,0 +1,36 @@
+"""Fig. 19: execution time (computing vs. waiting) and power dissipation."""
+
+from repro.analysis.performance_report import performance_comparison
+from repro.analysis.report import format_dict_rows
+
+from conftest import run_once
+
+
+def test_fig19_performance_and_power(benchmark, vgg_layers):
+    rows = run_once(benchmark, performance_comparison, layers=vgg_layers)
+    print("\nFig. 19: performance and power")
+    print(format_dict_rows(rows))
+
+    assert len(rows) == 5
+    by_name = {row["implementation"]: row for row in rows}
+    # More PEs -> shorter computing time and higher power.
+    assert (
+        by_name["implementation-1"]["computing_seconds"]
+        > by_name["implementation-3"]["computing_seconds"]
+        > by_name["implementation-5"]["computing_seconds"]
+    )
+    assert (
+        by_name["implementation-1"]["power_watts"]
+        < by_name["implementation-3"]["power_watts"]
+        < by_name["implementation-5"]["power_watts"]
+    )
+    # The waiting-time share grows with the PE count (memory latency becomes
+    # harder to hide), as the paper observes.
+    assert (
+        by_name["implementation-5"]["waiting_fraction"]
+        > by_name["implementation-1"]["waiting_fraction"]
+    )
+    for row in rows:
+        assert 0.02 < row["total_seconds"] < 2.0
+        assert 0.3 < row["power_watts"] < 10.0
+        assert row["speedup_over_eyeriss_reported"] > 3.0

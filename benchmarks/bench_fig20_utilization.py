@@ -1,0 +1,25 @@
+"""Fig. 20: memory and PE utilisation of the five implementations."""
+
+from repro.analysis.report import format_dict_rows
+from repro.analysis.utilization_report import utilization_report
+
+from conftest import run_once
+
+
+def test_fig20_utilization(benchmark, vgg_layers):
+    rows = run_once(benchmark, utilization_report, layers=vgg_layers)
+    print("\nFig. 20: memory and PE utilisation (average over all layers)")
+    print(format_dict_rows(rows))
+
+    assert len(rows) == 5
+    for row in rows:
+        # LRegs dominate the on-chip memory and stay well utilised; the GBufs
+        # and GRegs are intentionally over-provisioned (lower utilisation).
+        assert row["lreg"] > 0.6
+        assert row["memory_overall"] > 0.5
+        assert row["pe"] > 0.7
+        assert 0.0 < row["gbuf"] <= 1.0
+        assert 0.0 < row["greg"] <= 1.0
+    # Increasing the PE count lowers the LReg utilisation (smaller per-PE
+    # workload), the trend the paper notes between implementations 1 and 5.
+    assert rows[0]["lreg"] >= rows[4]["lreg"]

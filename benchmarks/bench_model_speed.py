@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the analytic models themselves.
+
+These measure the cost of the building blocks a user calls interactively
+(tiling selection, exact traffic evaluation, one accelerator layer run, the
+functional simulator) so regressions in model complexity are visible.
+"""
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import paper_implementation
+from repro.arch.functional import FunctionalSimulator
+from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.tiling import Tiling
+from repro.workloads.generator import small_test_layers
+from repro.workloads.vgg import vgg16_conv_layers
+
+import numpy as np
+
+
+def test_speed_choose_tiling(benchmark):
+    layer = vgg16_conv_layers()[8]  # conv4_2
+    result = benchmark(choose_tiling, layer, 34048)
+    assert result.traffic.total > 0
+
+
+def test_speed_dataflow_traffic(benchmark):
+    layer = vgg16_conv_layers()[8]
+    tiling = Tiling(b=1, z=64, y=16, x=28)
+    traffic = benchmark(dataflow_traffic, layer, tiling)
+    assert traffic.total > 0
+
+
+def test_speed_accelerator_layer(benchmark):
+    layer = vgg16_conv_layers()[8]
+    model = AcceleratorModel(paper_implementation(1))
+    model.run_layer(layer)  # warm the tiling cache once
+    result = benchmark(model.run_layer, layer)
+    assert result.dram.total > 0
+
+
+def test_speed_functional_simulator(benchmark):
+    layer = small_test_layers()[0]
+    rng = np.random.default_rng(0)
+    inputs = rng.standard_normal((layer.batch, layer.in_channels, layer.in_height, layer.in_width))
+    weights = rng.standard_normal(
+        (layer.out_channels, layer.in_channels, layer.kernel_height, layer.kernel_width)
+    )
+    simulator = FunctionalSimulator()
+    result = benchmark(simulator.run, layer, Tiling(b=1, z=2, y=4, x=4), inputs, weights)
+    assert result.outputs.shape == (layer.batch, layer.out_channels,
+                                    layer.out_height, layer.out_width)

@@ -1,0 +1,29 @@
+"""Table I: the five accelerator implementations."""
+
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+
+from conftest import run_once
+
+
+def _build_table():
+    return [
+        {
+            "implementation": config.name,
+            "pes": f"{config.pe_rows}x{config.pe_cols}",
+            "gbuf_kib": config.gbuf_kib,
+            "lreg_bytes_per_pe": config.lreg_bytes_per_pe,
+            "greg_kib": config.greg_kib,
+            "effective_kib": config.effective_on_chip_kib,
+        }
+        for config in PAPER_IMPLEMENTATIONS
+    ]
+
+
+def test_table1_implementations(benchmark):
+    rows = run_once(benchmark, _build_table)
+    print("\nTable I: implementations of our architecture")
+    for row in rows:
+        print("  ", row)
+    assert [row["effective_kib"] for row in rows[:3]] == [66.5] * 3
+    assert [row["effective_kib"] for row in rows[3:]] == [131.625] * 2
+    assert [row["pes"] for row in rows] == ["16x16", "32x16", "32x32", "32x32", "64x32"]

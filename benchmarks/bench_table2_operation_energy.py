@@ -1,0 +1,22 @@
+"""Table II: energy consumption of the basic operations."""
+
+from repro.energy.model import OPERATION_ENERGY, lreg_access_energy_pj, sram_access_energy_pj
+
+from conftest import run_once
+
+
+def _build_table():
+    table = dict(OPERATION_ENERGY)
+    table["greg_64B_segment"] = lreg_access_energy_pj(64)
+    table["gbuf_3KB_interpolated"] = sram_access_energy_pj(3072)
+    return table
+
+
+def test_table2_operation_energy(benchmark):
+    table = run_once(benchmark, _build_table)
+    print("\nTable II: energy consumption of operations (pJ)")
+    for name, value in table.items():
+        print(f"  {name:>22}: {value:.2f}")
+    assert table["dram"] > 100 * table["mac"]
+    assert table["lreg_64B"] < table["lreg_128B"] < table["lreg_256B"]
+    assert table["gbuf_0.5KB"] < table["gbuf_2KB"] < table["gbuf_3.125KB"]

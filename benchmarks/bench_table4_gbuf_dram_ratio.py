@@ -1,0 +1,24 @@
+"""Table IV: ratio of GBuf access volume to DRAM access volume (implementation 1)."""
+
+from repro.analysis.report import format_gbuf_dram_ratio
+from repro.analysis.sweep import gbuf_dram_ratio
+
+from conftest import run_once
+
+
+def test_table4_gbuf_dram_ratio(benchmark, vgg_layers):
+    ratio = run_once(benchmark, gbuf_dram_ratio, layers=vgg_layers, implementation_index=1)
+    print("\n" + format_gbuf_dram_ratio(ratio))
+
+    # Weights: GBuf read and write volumes equal the DRAM read volume (1.00x).
+    assert abs(ratio["weights"]["read_ratio"] - 1.0) < 1e-6
+    assert abs(ratio["weights"]["write_ratio"] - 1.0) < 1e-6
+    # Inputs: writes track DRAM reads; reads exceed them because of halos
+    # (paper: 1.15x and 1.67x respectively).
+    assert 1.0 <= ratio["inputs"]["write_ratio"] < 1.3
+    assert 1.3 < ratio["inputs"]["read_ratio"] < 2.2
+    # Outputs never touch the GBuf.
+    assert ratio["outputs"]["gbuf_read_mb"] == 0.0
+    # Overall the GBuf roughly reaches its lower bound (paper: 1.33x / 1.07x).
+    assert 1.0 <= ratio["overall"]["gbuf_read_over_dram_read"] < 1.7
+    assert 0.95 <= ratio["overall"]["gbuf_write_over_dram_read"] < 1.3

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, prints the
+resulting rows/series (run pytest with ``-s`` to see them) and asserts the
+qualitative relationships the paper reports.  Heavy experiments run a single
+round via ``benchmark.pedantic`` so the whole harness completes in a few
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.workloads.vgg import vgg16_conv_layers  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def vgg_layers():
+    """The paper's evaluation workload: VGG-16 conv layers, batch 3."""
+    return vgg16_conv_layers()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare all Fig. 12 dataflows against the lower bound across memory sizes.
+
+This is a compact version of Fig. 13: for each effective on-chip memory size
+it prints the whole-network DRAM traffic of every dataflow (each with its own
+exhaustively searched tiling sizes), the per-layer found minimum and the
+theoretical lower bound, and reports how far each dataflow sits from the
+bound.
+
+Run with::
+
+    python examples/dataflow_comparison.py [capacity_kib ...]
+"""
+
+import math
+import sys
+
+from repro.analysis.sweep import memory_sweep
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+def main() -> None:
+    capacities = [float(arg) for arg in sys.argv[1:]] or [32, 66.5, 128, 256]
+    layers = vgg16_conv_layers()
+    print(f"workload: VGG-16 conv layers, batch {layers[0].batch}")
+    print(f"capacities: {capacities} KB of effective on-chip memory\n")
+
+    sweep = memory_sweep(capacities_kib=capacities, layers=layers)
+    series = sweep["series"]
+
+    header = f"{'dataflow':>14} " + " ".join(f"{capacity:>9g}KB" for capacity in capacities)
+    print(header + "   (DRAM GB; x over bound at the last capacity)")
+    print("-" * (len(header) + 40))
+    bound = series["Lower bound"]
+    order = ["Lower bound", "Found minimum", "Ours", "InR-A", "WtR-A", "OutR-B",
+             "WtR-B", "InR-C", "InR-B", "OutR-A"]
+    for name in order:
+        if name not in series:
+            continue
+        values = series[name]
+        cells = " ".join(
+            f"{value:11.3f}" if not math.isnan(value) else f"{'n/a':>11}" for value in values
+        )
+        last = values[-1]
+        suffix = "" if math.isnan(last) else f"   {last / bound[-1]:.2f}x"
+        print(f"{name:>14} {cells}{suffix}")
+
+    print("\nObservations (paper Section VI-A):")
+    ours = series["Ours"]
+    found = series["Found minimum"]
+    gaps = [o / b - 1 for o, b in zip(ours, bound)]
+    improvement = [1 - f / o for f, o in zip(found, ours)]
+    print(f"  our dataflow is {100 * sum(gaps) / len(gaps):.1f}% above the lower bound on average")
+    print(f"  the per-layer found minimum improves on it by only "
+          f"{100 * sum(improvement) / len(improvement):.1f}% on average")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Full VGG-16 analysis on one accelerator implementation.
+
+Reproduces, for implementation 1 of Table I, the per-layer DRAM traffic, the
+GBuf/register traffic, the energy breakdown and the execution time -- i.e.
+the quantities behind Figs. 14 and 16-19 for a single configuration.
+
+Run with::
+
+    python examples/vgg16_analysis.py [implementation-index]
+"""
+
+import sys
+
+from repro import AcceleratorModel, EnergyModel, paper_implementation
+from repro.arch.performance import performance_report
+from repro.core.lower_bound import practical_lower_bound, reg_lower_bound
+from repro.workloads.vgg import vgg16_conv_layers
+
+MB = 1024 * 1024 / 2  # words per megabyte (16-bit words)
+
+
+def main() -> None:
+    index = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    config = paper_implementation(index)
+    layers = vgg16_conv_layers()
+    print(config.describe())
+    print(f"workload: VGG-16 convolutional layers, batch {layers[0].batch}\n")
+
+    model = AcceleratorModel(config)
+    energy_model = EnergyModel()
+
+    header = (
+        f"{'layer':>9} {'tiling (b,z,y,x)':>20} {'DRAM MB':>9} {'bound MB':>9} "
+        f"{'GBuf MB':>9} {'Reg/bound':>10} {'PE util':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = []
+    for layer in layers:
+        result = model.run_layer(layer)
+        results.append(result)
+        bound = practical_lower_bound(layer, config.effective_on_chip_words)
+        tiling = result.tiling
+        print(
+            f"{layer.name:>9} "
+            f"{'(' + ','.join(str(v) for v in (tiling.b, tiling.z, tiling.y, tiling.x)) + ')':>20} "
+            f"{result.dram.total / MB:9.1f} {bound / MB:9.1f} "
+            f"{result.gbuf_accesses / MB:9.1f} "
+            f"{result.reg_accesses / reg_lower_bound(layer):10.3f} "
+            f"{result.utilization['pe'] * 100:7.1f}%"
+        )
+
+    network = model.run_network(layers)
+    energy = energy_model.network_energy(network, config)
+    bound_energy = energy_model.lower_bound_energy(layers, config.effective_on_chip_words)
+    report = performance_report(network, config, energy)
+
+    print("\nNetwork totals:")
+    print(f"  DRAM traffic        : {network.dram.total / MB:.1f} MB")
+    print(f"  GBuf traffic        : {network.gbuf_accesses / MB:.1f} MB")
+    print(f"  Register traffic    : {network.reg_accesses / MB / 1024:.2f} GB")
+    print(f"  Energy              : {energy.total * 1e-12 * 1e3:.1f} mJ "
+          f"({energy.pj_per_mac:.2f} pJ/MAC, bound {bound_energy.pj_per_mac:.2f} pJ/MAC)")
+    print("  Energy breakdown    : "
+          + ", ".join(f"{k}={v:.2f}" for k, v in energy.component_pj_per_mac().items()))
+    print(f"  Execution time      : {report.total_seconds * 1e3:.1f} ms "
+          f"({report.waiting_fraction * 100:.1f}% waiting on DRAM)")
+    print(f"  Average power       : {report.power_watts:.2f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP-517 editable installs fail with "invalid command
+'bdist_wheel'".  This shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``python setup.py develop``) work; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

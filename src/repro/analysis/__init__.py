@@ -1,0 +1,25 @@
+"""Experiment drivers: one function per paper table/figure."""
+
+from repro.analysis.sweep import (
+    memory_sweep,
+    per_layer_dram,
+    gbuf_per_layer,
+    gbuf_dram_ratio,
+    reg_per_layer,
+)
+from repro.analysis.eyeriss_compare import eyeriss_comparison
+from repro.analysis.energy_report import energy_report
+from repro.analysis.performance_report import performance_comparison
+from repro.analysis.utilization_report import utilization_report
+
+__all__ = [
+    "memory_sweep",
+    "per_layer_dram",
+    "gbuf_per_layer",
+    "gbuf_dram_ratio",
+    "reg_per_layer",
+    "eyeriss_comparison",
+    "energy_report",
+    "performance_comparison",
+    "utilization_report",
+]

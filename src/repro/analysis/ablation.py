@@ -1,0 +1,130 @@
+"""Ablation studies of the dataflow's design choices (Section IV discussion).
+
+The paper justifies three choices analytically; these drivers quantify them:
+
+* ``k = 1`` (smallest channel step) -- larger ``k`` shrinks the output block
+  under a fixed memory budget and therefore increases DRAM traffic.
+* ``b*x*y ~= R*z`` (balanced input/weight loading) -- deliberately unbalanced
+  tilings load more of one operand than the other and lose traffic.
+* Psums in LRegs rather than in the GBuf -- Psums in the GBuf would be read
+  and written on every MAC, exploding GBuf traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.layer import ConvLayer, kib_to_words
+from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.tiling import Tiling
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+def channel_step_ablation(layer: ConvLayer, capacity_kib: float = 66.5, steps=(1, 2, 4, 8, 16)) -> list:
+    """DRAM traffic as the channel step ``k`` grows (the paper argues ``k = 1``)."""
+    capacity_words = kib_to_words(capacity_kib)
+    rows = []
+    for step in steps:
+        step = min(step, layer.in_channels)
+        best = None
+        base = choose_tiling(layer, capacity_words).tiling
+        for scale in (0.25, 0.5, 0.75, 1.0):
+            tiling = Tiling(
+                b=base.b,
+                z=max(1, int(base.z * scale)),
+                y=max(1, int(base.y * math.sqrt(scale))),
+                x=max(1, int(base.x * math.sqrt(scale))),
+                k=step,
+            ).clip(layer)
+            if tiling.on_chip_footprint(layer) > capacity_words:
+                continue
+            traffic = dataflow_traffic(layer, tiling)
+            if best is None or traffic.total < best:
+                best = traffic.total
+        rows.append({"k": step, "dram_words": best})
+    return rows
+
+
+def balance_ablation(layer: ConvLayer, capacity_kib: float = 66.5, ratios=(0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)) -> list:
+    """DRAM traffic as the ``u / (R*z)`` balance deviates from 1 (the optimum)."""
+    capacity_words = kib_to_words(capacity_kib)
+    reuse = layer.window_reuse
+    rows = []
+    for ratio in ratios:
+        # u = ratio * R * z and u * z ~= capacity  =>  z = sqrt(capacity / (ratio*R)).
+        z = max(1, min(layer.out_channels, int(round(math.sqrt(capacity_words / (ratio * reuse))))))
+        u_target = max(1, capacity_words // max(z, 1))
+        side = max(1, int(round(math.sqrt(u_target))))
+        tiling = Tiling(b=1, z=z, y=side, x=max(1, u_target // side), k=1).clip(layer)
+        while tiling.on_chip_footprint(layer) > capacity_words and (tiling.x > 1 or tiling.y > 1):
+            tiling = Tiling(
+                tiling.b,
+                tiling.z,
+                max(1, tiling.y - 1),
+                max(1, tiling.x - 1),
+                tiling.k,
+            )
+        traffic = dataflow_traffic(layer, tiling)
+        rows.append(
+            {
+                "target_ratio": ratio,
+                "achieved_ratio": tiling.balance_ratio(layer),
+                "dram_words": traffic.total,
+                "tiling": tiling.describe(),
+            }
+        )
+    return rows
+
+
+def psum_location_ablation(layers: list = None, capacity_kib: float = 66.5) -> dict:
+    """GBuf traffic with Psums in LRegs (ours) vs. Psums stored in the GBuf.
+
+    With Psums in the GBuf every MAC performs one GBuf read and one GBuf
+    write of the partial sum (Section IV-B1's argument against it), on top of
+    the operand traffic.  With Psums in LRegs the GBuf only carries inputs
+    and weights (each written and read once).
+    """
+    if layers is None:
+        layers = vgg16_conv_layers()
+    capacity_words = kib_to_words(capacity_kib)
+    operand_words = 0.0
+    macs = 0
+    for layer in layers:
+        traffic = choose_tiling(layer, capacity_words).traffic
+        operand_words += traffic.input_reads + traffic.weight_reads
+        macs += layer.macs
+    gbuf_ours = 2.0 * operand_words
+    gbuf_psums_in_gbuf = 2.0 * operand_words + 2.0 * macs
+    return {
+        "gbuf_accesses_psums_in_lregs": gbuf_ours,
+        "gbuf_accesses_psums_in_gbuf": gbuf_psums_in_gbuf,
+        "penalty_factor": gbuf_psums_in_gbuf / gbuf_ours,
+    }
+
+
+def memory_split_ablation(layers: list = None, capacity_kib: float = 66.5, psum_fractions=(0.5, 0.7, 0.9, 0.96, 0.99)) -> list:
+    """DRAM traffic as a function of the Psum share of the on-chip memory.
+
+    The paper's key architectural implication is that *most* of the effective
+    on-chip memory should hold Psums; this sweep shows the traffic penalty of
+    giving more of it to the GBufs instead.
+    """
+    if layers is None:
+        layers = vgg16_conv_layers()
+    capacity_words = kib_to_words(capacity_kib)
+    rows = []
+    for fraction in psum_fractions:
+        psum_words = max(1, int(capacity_words * fraction))
+        buffer_words = max(1, capacity_words - psum_words)
+        total = 0.0
+        for layer in layers:
+            choice = choose_tiling(
+                layer,
+                capacity_words,
+                psum_words=psum_words,
+                input_buffer_words=max(1, int(buffer_words * 0.8)),
+                weight_buffer_words=max(1, int(buffer_words * 0.2)),
+            )
+            total += choice.traffic.total
+        rows.append({"psum_fraction": fraction, "dram_words": total})
+    return rows

@@ -1,0 +1,59 @@
+"""Energy-efficiency experiment (Fig. 18).
+
+For every implementation of Table I, run the analytic accelerator model over
+the workload, translate the access counts into energy with the Table II
+model, and compare against the energy lower bound (DRAM at the Eq. (15)
+bound + one MAC and one minimal register write per MAC).
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.energy.model import EnergyModel, efficiency_gap
+from repro.eyeriss.model import EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+def energy_report(layers: list = None, implementations: list = None) -> dict:
+    """Fig. 18: pJ/MAC breakdown per implementation plus the lower bounds."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = list(PAPER_IMPLEMENTATIONS)
+    energy_model = EnergyModel()
+
+    rows = []
+    bounds = {}
+    for config in implementations:
+        model = AcceleratorModel(config)
+        network = model.run_network(layers)
+        breakdown = energy_model.network_energy(network, config)
+        capacity = config.effective_on_chip_words
+        if capacity not in bounds:
+            bounds[capacity] = energy_model.lower_bound_energy(layers, capacity)
+        bound = bounds[capacity]
+        rows.append(
+            {
+                "implementation": config.name,
+                "pj_per_mac": breakdown.pj_per_mac,
+                "components_pj_per_mac": breakdown.component_pj_per_mac(),
+                "lower_bound_pj_per_mac": bound.pj_per_mac,
+                "gap": efficiency_gap(breakdown, bound),
+                "on_chip_pj_per_mac": breakdown.on_chip_total / breakdown.macs,
+                "eyeriss_on_chip_ratio": (
+                    EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC
+                    / (breakdown.on_chip_total / breakdown.macs)
+                ),
+            }
+        )
+
+    bound_rows = [
+        {
+            "capacity_words": capacity,
+            "pj_per_mac": bound.pj_per_mac,
+            "components_pj_per_mac": bound.component_pj_per_mac(),
+        }
+        for capacity, bound in sorted(bounds.items())
+    ]
+    return {"implementations": rows, "lower_bounds": bound_rows}

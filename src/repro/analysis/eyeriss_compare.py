@@ -1,0 +1,103 @@
+"""Comparison with Eyeriss on DRAM access (Fig. 15 and Table III).
+
+The comparison is made at Eyeriss's effective on-chip memory capacity
+(173.5 KB): our dataflow and the lower bound are evaluated at that capacity,
+and the Eyeriss row-stationary model provides the baseline with and without
+input compression.  The paper additionally quotes FlexFlow's DRAM-access-per-
+MAC; the published constant is reproduced for that row.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import words_to_mb
+from repro.core.layer import kib_to_words
+from repro.core.lower_bound import practical_lower_bound
+from repro.dataflows.registry import get_dataflow
+from repro.eyeriss.model import (
+    EyerissModel,
+    EYERISS_REPORTED_VGG16_DRAM_MB,
+    VGG16_INPUT_COMPRESSION,
+)
+from repro.workloads.vgg import vgg16_conv_layers
+
+#: Effective on-chip memory of Eyeriss used in the paper's Fig. 15 / Table III.
+EYERISS_EFFECTIVE_KIB = 173.5
+
+#: DRAM access per MAC reported for FlexFlow (192 KB on-chip memory) in Section VI-A.
+FLEXFLOW_REPORTED_DRAM_PER_MAC = 0.0049
+
+
+def eyeriss_comparison(layers: list = None, capacity_kib: float = EYERISS_EFFECTIVE_KIB) -> dict:
+    """Build the Fig. 15 per-layer series and the Table III summary."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    capacity_words = kib_to_words(capacity_kib)
+    ours = get_dataflow("Ours")
+    eyeriss = EyerissModel()
+
+    per_layer = []
+    totals = {"lower_bound": 0.0, "ours": 0.0, "eyeriss_uncompressed": 0.0, "eyeriss_compressed": 0.0}
+    total_macs = 0
+    for index, layer in enumerate(layers, start=1):
+        bound = practical_lower_bound(layer, capacity_words)
+        our_total = ours.search(layer, capacity_words).total
+        eyeriss_result = eyeriss.run_layer(layer)
+        uncompressed = eyeriss_result.dram.total
+        ratio = (
+            VGG16_INPUT_COMPRESSION[index - 1]
+            if index - 1 < len(VGG16_INPUT_COMPRESSION)
+            else 1.0
+        )
+        compressed = (
+            eyeriss_result.dram.input_reads * ratio
+            + eyeriss_result.dram.weight_reads
+            + eyeriss_result.dram.output_traffic * ratio
+        )
+        per_layer.append(
+            {
+                "layer_index": index,
+                "layer": layer.name,
+                "lower_bound_mb": words_to_mb(bound),
+                "ours_mb": words_to_mb(our_total),
+                "eyeriss_compressed_mb": words_to_mb(compressed),
+                "eyeriss_uncompressed_mb": words_to_mb(uncompressed),
+            }
+        )
+        totals["lower_bound"] += bound
+        totals["ours"] += our_total
+        totals["eyeriss_uncompressed"] += uncompressed
+        totals["eyeriss_compressed"] += compressed
+        total_macs += layer.macs
+
+    reported = {
+        name: {
+            "dram_access_mb": mb,
+            "dram_access_per_mac": mb * 1024 * 1024 / 2 / total_macs if total_macs else 0.0,
+        }
+        for name, mb in (
+            ("Eyeriss (compr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["compressed"]),
+            ("Eyeriss (uncompr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["uncompressed"]),
+        )
+    }
+    summary = {
+        "capacity_kib": capacity_kib,
+        "total_macs": total_macs,
+        "rows": {
+            "Lower bound": _summary_row(totals["lower_bound"], total_macs),
+            "Our dataflow": _summary_row(totals["ours"], total_macs),
+            "Eyeriss (compr.)": _summary_row(totals["eyeriss_compressed"], total_macs),
+            "Eyeriss (uncompr.)": _summary_row(totals["eyeriss_uncompressed"], total_macs),
+            **reported,
+        },
+        "ours_vs_uncompressed_reduction": 1.0 - totals["ours"] / totals["eyeriss_uncompressed"],
+        "ours_vs_compressed_reduction": 1.0 - totals["ours"] / totals["eyeriss_compressed"],
+        "flexflow_reported_dram_per_mac": FLEXFLOW_REPORTED_DRAM_PER_MAC,
+    }
+    return {"per_layer": per_layer, "summary": summary}
+
+
+def _summary_row(words: float, macs: int) -> dict:
+    return {
+        "dram_access_mb": words_to_mb(words),
+        "dram_access_per_mac": words / macs if macs else 0.0,
+    }

@@ -1,0 +1,141 @@
+"""On-chip memory requirement analysis (the contrast drawn with ref. [36]).
+
+The paper motivates its bound by contrasting with the "ideal" approach of
+ref. [36]: if the on-chip memory is large enough to hold a whole operand
+tensor, every tensor can be read from DRAM exactly once, but the required
+capacity ranges from megabytes to hundreds of megabytes and cannot be
+guaranteed for arbitrary layers.  This module quantifies that contrast:
+
+* :func:`ideal_memory_requirement` -- the smallest on-chip capacity (in
+  words) at which once-through traffic becomes achievable for a layer (hold
+  the smaller of {all inputs + a block of outputs, all weights + a block of
+  outputs}).
+* :func:`bound_vs_ideal` -- for a list of capacities, how far the Eq. (15)
+  bound (achievable with *any* capacity) sits above the once-through ideal,
+  i.e. the price paid for having less memory than [36] requires.
+* :func:`capacity_for_overhead` -- the capacity needed for the bound to come
+  within a target factor of the ideal, useful for sizing the Psum store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.layer import ConvLayer
+from repro.core.lower_bound import ideal_traffic, practical_lower_bound
+
+
+@dataclass(frozen=True)
+class MemoryRequirement:
+    """Once-through memory requirement of one layer, in words."""
+
+    layer_name: str
+    hold_inputs_words: int
+    hold_weights_words: int
+
+    @property
+    def minimum_words(self) -> int:
+        """The cheaper of the two once-through strategies."""
+        return min(self.hold_inputs_words, self.hold_weights_words)
+
+    @property
+    def minimum_kib(self) -> float:
+        return self.minimum_words * 2 / 1024.0
+
+
+def ideal_memory_requirement(layer: ConvLayer, output_buffer_words: int = None) -> MemoryRequirement:
+    """On-chip capacity needed to read every tensor exactly once.
+
+    Two classical strategies achieve once-through traffic:
+
+    * hold **all inputs** on chip and stream weights, accumulating one output
+      block at a time (needs ``#inputs + output_buffer`` words);
+    * hold **all weights** on chip and stream inputs (needs
+      ``#weights + output_buffer`` words).
+
+    ``output_buffer_words`` defaults to one output row across all kernels,
+    the smallest accumulation granule that keeps outputs written once.
+    """
+    if output_buffer_words is None:
+        output_buffer_words = layer.out_width * layer.out_channels
+    return MemoryRequirement(
+        layer_name=layer.name,
+        hold_inputs_words=layer.num_inputs + output_buffer_words,
+        hold_weights_words=layer.num_weights + output_buffer_words,
+    )
+
+
+def network_memory_requirements(layers: list) -> list:
+    """Per-layer once-through requirements for a whole network."""
+    return [ideal_memory_requirement(layer) for layer in layers]
+
+
+def bound_vs_ideal(layer: ConvLayer, capacities_words: list) -> list:
+    """For each capacity, the Eq. (15) bound relative to the once-through ideal.
+
+    Returns rows with the bound, the ideal, and their ratio -- the extra
+    DRAM traffic a capacity-limited accelerator must pay compared to a
+    hypothetical [36]-sized one.
+    """
+    ideal = ideal_traffic(layer)
+    rows = []
+    for capacity in capacities_words:
+        bound = practical_lower_bound(layer, capacity)
+        rows.append(
+            {
+                "capacity_words": capacity,
+                "capacity_kib": capacity * 2 / 1024.0,
+                "bound_words": bound,
+                "ideal_words": float(ideal),
+                "overhead": bound / ideal,
+            }
+        )
+    return rows
+
+
+def capacity_for_overhead(layer: ConvLayer, target_overhead: float = 1.5) -> int:
+    """Smallest capacity (words) whose Eq. (15) bound is within ``target_overhead``
+    of the once-through ideal.
+
+    Solved in closed form from Eq. (15):
+    ``2*#MAC / sqrt(R*S) <= (target - 1) * ideal  =>  S >= (2*#MAC / ((target-1)*ideal))^2 / R``
+    then clamped from below at a handful of words and verified numerically
+    (the max with the ideal-memory requirement is *not* taken -- the point of
+    the bound is precisely that far less memory suffices).
+    """
+    if target_overhead <= 1.0:
+        raise ValueError("target overhead must exceed 1.0")
+    ideal = ideal_traffic(layer)
+    slack = (target_overhead - 1.0) * ideal
+    required = (2.0 * layer.macs / slack) ** 2 / layer.window_reuse
+    capacity = max(8, int(math.ceil(required)))
+    # Numerical verification (the write term can make the closed form slightly
+    # optimistic for output-heavy layers); grow until the target is met or the
+    # ideal-memory regime is reached.
+    requirement = ideal_memory_requirement(layer).minimum_words
+    while (
+        practical_lower_bound(layer, capacity) > target_overhead * ideal
+        and capacity < requirement
+    ):
+        capacity *= 2
+    return capacity
+
+
+def requirement_report(layers: list, capacities_kib=(66.5, 131.625, 173.5)) -> list:
+    """One row per layer: once-through requirement vs. what the bound achieves
+    at realistic accelerator capacities."""
+    rows = []
+    for layer in layers:
+        requirement = ideal_memory_requirement(layer)
+        row = {
+            "layer": layer.name,
+            "once_through_kib": requirement.minimum_kib,
+        }
+        for capacity_kib in capacities_kib:
+            capacity_words = int(capacity_kib * 1024 / 2)
+            row[f"overhead_at_{capacity_kib}kib"] = practical_lower_bound(
+                layer, capacity_words
+            ) / ideal_traffic(layer)
+        rows.append(row)
+    return rows

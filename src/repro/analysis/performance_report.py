@@ -1,0 +1,48 @@
+"""Performance and power experiment (Fig. 19).
+
+Execution time is split into computing time and waiting time (DRAM transfers
+double buffering cannot hide); power is total energy over total time.  The
+paper also quotes a 9.8-42.3x speedup over Eyeriss with memory latency taken
+into account; the comparison here uses Eyeriss's reported VGG-16 runtime.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.arch.performance import performance_report, throughput_macs_per_second
+from repro.energy.model import EnergyModel
+from repro.eyeriss.model import EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE
+from repro.workloads.vgg import PAPER_BATCH_SIZE, vgg16_conv_layers
+
+
+def performance_comparison(layers: list = None, implementations: list = None) -> list:
+    """Fig. 19: one row per implementation with time, waiting share and power."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = list(PAPER_IMPLEMENTATIONS)
+    energy_model = EnergyModel()
+    batch = layers[0].batch if layers else PAPER_BATCH_SIZE
+    eyeriss_seconds = EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE * batch
+
+    rows = []
+    for config in implementations:
+        model = AcceleratorModel(config)
+        network = model.run_network(layers)
+        energy = energy_model.network_energy(network, config)
+        report = performance_report(network, config, energy)
+        rows.append(
+            {
+                "implementation": config.name,
+                "num_pes": config.num_pes,
+                "computing_seconds": report.compute_seconds,
+                "waiting_seconds": report.waiting_seconds,
+                "total_seconds": report.total_seconds,
+                "waiting_fraction": report.waiting_fraction,
+                "power_watts": report.power_watts,
+                "throughput_gmacs": throughput_macs_per_second(network, config) / 1e9,
+                "speedup_over_eyeriss_reported": eyeriss_seconds / report.total_seconds,
+            }
+        )
+    return rows

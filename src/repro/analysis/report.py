@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The benchmarks and the CLI print the paper's tables and figure series as
+aligned text tables; nothing here depends on plotting libraries.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, float_format: str = "{:.3f}") -> str:
+    """Render a list of row-lists as an aligned text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_memory_sweep(sweep: dict) -> str:
+    """Render the Fig. 13 sweep: one column per on-chip capacity."""
+    capacities = sweep["capacities_kib"]
+    headers = ["Dataflow"] + [f"{capacity:g}KB" for capacity in capacities]
+    rows = []
+    for name, values in sweep["series"].items():
+        rows.append([name] + [value for value in values])
+    return format_table(headers, rows, float_format="{:.3f}")
+
+
+def format_dict_rows(rows: list, columns: list = None, float_format: str = "{:.3f}") -> str:
+    """Render a list of dictionaries as a table (columns default to the keys)."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table_rows = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(columns, table_rows, float_format=float_format)
+
+
+def format_energy_report(report: dict) -> str:
+    """Render the Fig. 18 breakdown."""
+    lines = ["Energy efficiency (pJ/MAC):"]
+    for bound in report["lower_bounds"]:
+        kib = bound["capacity_words"] * 2 / 1024.0
+        lines.append(
+            f"  Lower bound @ {kib:.1f} KB on-chip: {bound['pj_per_mac']:.2f} pJ/MAC"
+        )
+    for row in report["implementations"]:
+        components = ", ".join(
+            f"{name}={value:.2f}" for name, value in row["components_pj_per_mac"].items()
+        )
+        lines.append(
+            f"  {row['implementation']}: {row['pj_per_mac']:.2f} pJ/MAC "
+            f"(gap {row['gap'] * 100:.0f}% over bound) [{components}]"
+        )
+    return "\n".join(lines)
+
+
+def format_gbuf_dram_ratio(ratio: dict) -> str:
+    """Render Table IV."""
+    lines = [f"GBuf vs DRAM access volumes ({ratio['implementation']}):"]
+    inputs = ratio["inputs"]
+    weights = ratio["weights"]
+    outputs = ratio["outputs"]
+    lines.append(
+        f"  Inputs : DRAM read {inputs['dram_read_mb']:.1f} MB, "
+        f"GBuf read {inputs['gbuf_read_mb']:.1f} MB ({inputs['read_ratio']:.2f}x), "
+        f"GBuf write {inputs['gbuf_write_mb']:.1f} MB ({inputs['write_ratio']:.2f}x)"
+    )
+    lines.append(
+        f"  Weights: DRAM read {weights['dram_read_mb']:.1f} MB, "
+        f"GBuf read {weights['gbuf_read_mb']:.1f} MB ({weights['read_ratio']:.2f}x), "
+        f"GBuf write {weights['gbuf_write_mb']:.1f} MB ({weights['write_ratio']:.2f}x)"
+    )
+    lines.append(f"  Outputs: DRAM write {outputs['dram_write_mb']:.1f} MB, GBuf 0 MB")
+    overall = ratio["overall"]
+    lines.append(
+        f"  Overall: GBuf read / DRAM read = {overall['gbuf_read_over_dram_read']:.2f}x, "
+        f"GBuf write / DRAM read = {overall['gbuf_write_over_dram_read']:.2f}x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""DRAM / GBuf / Reg access experiments (Figs. 13, 14, 16, 17 and Table IV).
+
+Every function returns plain dictionaries / lists of rows so the benchmarks
+and the CLI can print them and the tests can assert on them without any
+plotting dependency.  Volumes are reported in megabytes (16-bit words, 2
+bytes each), matching the paper's axes.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.core.layer import ConvLayer, kib_to_words
+from repro.core.lower_bound import practical_lower_bound, reg_lower_bound
+from repro.core.traffic import BYTES_PER_WORD
+from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
+from repro.dataflows.search import found_minimum
+from repro.eyeriss.model import EyerissModel
+from repro.workloads.vgg import vgg16_conv_layers
+
+MB = 1024.0 * 1024.0
+
+
+def words_to_mb(words: float) -> float:
+    """Convert 16-bit words to megabytes (the unit of the paper's figures)."""
+    return words * BYTES_PER_WORD / MB
+
+
+# --------------------------------------------------------------------- Fig. 13
+
+
+def memory_sweep(
+    capacities_kib: list = None,
+    layers: list = None,
+    dataflow_names: list = None,
+    include_found_minimum: bool = True,
+) -> dict:
+    """DRAM access volume vs. effective on-chip memory size (Fig. 13).
+
+    Returns ``{"capacities_kib": [...], "series": {name: [GB, ...]}}`` where
+    every series is the whole-network DRAM volume in gigabytes, including the
+    theoretical lower bound and (optionally) the per-layer found minimum.
+    """
+    if capacities_kib is None:
+        capacities_kib = [16 * i for i in range(1, 17)]
+    if layers is None:
+        layers = vgg16_conv_layers()
+    dataflows = (
+        ALL_DATAFLOWS
+        if dataflow_names is None
+        else [get_dataflow(name) for name in dataflow_names]
+    )
+
+    series = {"Lower bound": []}
+    for dataflow in dataflows:
+        series[dataflow.name] = []
+    if include_found_minimum:
+        series["Found minimum"] = []
+
+    for capacity_kib in capacities_kib:
+        capacity_words = kib_to_words(capacity_kib)
+        bound = sum(practical_lower_bound(layer, capacity_words) for layer in layers)
+        series["Lower bound"].append(words_to_mb(bound) / 1024.0)
+        # Per-layer, per-dataflow totals; the found minimum reuses them so the
+        # exhaustive searches run only once per (layer, capacity).
+        per_layer_best = [float("inf")] * len(layers)
+        for dataflow in dataflows:
+            totals = 0.0
+            feasible = True
+            for index, layer in enumerate(layers):
+                try:
+                    layer_total = dataflow.search(layer, capacity_words).total
+                except ValueError:
+                    feasible = False
+                    continue
+                totals += layer_total
+                per_layer_best[index] = min(per_layer_best[index], layer_total)
+            series[dataflow.name].append(
+                words_to_mb(totals) / 1024.0 if feasible else float("nan")
+            )
+        if include_found_minimum:
+            minimum = sum(value for value in per_layer_best if value != float("inf"))
+            series["Found minimum"].append(words_to_mb(minimum) / 1024.0)
+    return {"capacities_kib": list(capacities_kib), "series": series}
+
+
+# --------------------------------------------------------------------- Fig. 14
+
+
+def per_layer_dram(
+    capacity_kib: float = 66.5,
+    layers: list = None,
+    implementations: list = None,
+    baseline_names: tuple = ("InR-A", "WtR-A"),
+) -> list:
+    """Per-layer DRAM access volumes at one memory size (Fig. 14).
+
+    Returns one row per layer with the lower bound, the free-split dataflow,
+    each accelerator implementation whose effective memory matches
+    ``capacity_kib`` (implementations 1-3 at 66.5 KB), and the requested
+    baselines, all in MB, plus the input/weight/output split of our dataflow.
+    """
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = [
+            config
+            for config in PAPER_IMPLEMENTATIONS
+            if abs(config.effective_on_chip_kib - capacity_kib) < 1.0
+        ]
+    capacity_words = kib_to_words(capacity_kib)
+    ours = get_dataflow("Ours")
+    models = [AcceleratorModel(config) for config in implementations]
+
+    rows = []
+    for index, layer in enumerate(layers, start=1):
+        our_result = ours.search(layer, capacity_words)
+        row = {
+            "layer_index": index,
+            "layer": layer.name,
+            "lower_bound_mb": words_to_mb(practical_lower_bound(layer, capacity_words)),
+            "ours_mb": words_to_mb(our_result.total),
+            "ours_inputs_mb": words_to_mb(our_result.traffic.input_reads),
+            "ours_weights_mb": words_to_mb(our_result.traffic.weight_reads),
+            "ours_outputs_mb": words_to_mb(our_result.traffic.output_traffic),
+        }
+        for model in models:
+            result = model.run_layer(layer)
+            row[f"{model.config.name}_mb"] = words_to_mb(result.dram.total)
+        for name in baseline_names:
+            baseline = get_dataflow(name)
+            row[f"{name}_mb"] = words_to_mb(baseline.search(layer, capacity_words).total)
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------- Fig. 16
+
+
+def gbuf_per_layer(layers: list = None, implementations: list = None) -> list:
+    """Per-layer GBuf access volume of every implementation vs. Eyeriss (Fig. 16)."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = list(PAPER_IMPLEMENTATIONS)
+    eyeriss = EyerissModel()
+    models = [AcceleratorModel(config) for config in implementations]
+
+    rows = []
+    for index, layer in enumerate(layers, start=1):
+        row = {"layer_index": index, "layer": layer.name}
+        eyeriss_result = eyeriss.run_layer(layer)
+        row["eyeriss_mb"] = words_to_mb(eyeriss_result.gbuf_accesses)
+        for model in models:
+            result = model.run_layer(layer)
+            row[f"{model.config.name}_mb"] = words_to_mb(result.gbuf_accesses)
+        rows.append(row)
+    return rows
+
+
+# -------------------------------------------------------------------- Table IV
+
+
+def gbuf_dram_ratio(layers: list = None, implementation_index: int = 1) -> dict:
+    """GBuf-to-DRAM access ratios by tensor for one implementation (Table IV)."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    config = PAPER_IMPLEMENTATIONS[implementation_index - 1]
+    model = AcceleratorModel(config)
+    network = model.run_network(layers)
+
+    dram_input = sum(result.dram.input_reads for result in network.layers)
+    dram_weight = sum(result.dram.weight_reads for result in network.layers)
+    dram_output = sum(result.dram.output_writes for result in network.layers)
+    igbuf_reads = sum(result.igbuf_reads for result in network.layers)
+    igbuf_writes = sum(result.igbuf_writes for result in network.layers)
+    wgbuf_reads = sum(result.wgbuf_reads for result in network.layers)
+    wgbuf_writes = sum(result.wgbuf_writes for result in network.layers)
+
+    return {
+        "implementation": config.name,
+        "inputs": {
+            "dram_read_mb": words_to_mb(dram_input),
+            "gbuf_read_mb": words_to_mb(igbuf_reads),
+            "gbuf_write_mb": words_to_mb(igbuf_writes),
+            "read_ratio": igbuf_reads / dram_input if dram_input else 0.0,
+            "write_ratio": igbuf_writes / dram_input if dram_input else 0.0,
+        },
+        "weights": {
+            "dram_read_mb": words_to_mb(dram_weight),
+            "gbuf_read_mb": words_to_mb(wgbuf_reads),
+            "gbuf_write_mb": words_to_mb(wgbuf_writes),
+            "read_ratio": wgbuf_reads / dram_weight if dram_weight else 0.0,
+            "write_ratio": wgbuf_writes / dram_weight if dram_weight else 0.0,
+        },
+        "outputs": {
+            "dram_write_mb": words_to_mb(dram_output),
+            "gbuf_read_mb": 0.0,
+            "gbuf_write_mb": 0.0,
+        },
+        "overall": {
+            "gbuf_read_over_dram_read": (igbuf_reads + wgbuf_reads) / (dram_input + dram_weight),
+            "gbuf_write_over_dram_read": (igbuf_writes + wgbuf_writes) / (dram_input + dram_weight),
+        },
+    }
+
+
+# --------------------------------------------------------------------- Fig. 17
+
+
+def reg_per_layer(layers: list = None, implementations: list = None) -> list:
+    """Per-layer register access volume vs. the Eq. (16) lower bound (Fig. 17)."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = list(PAPER_IMPLEMENTATIONS)
+    models = [AcceleratorModel(config) for config in implementations]
+
+    rows = []
+    for index, layer in enumerate(layers, start=1):
+        row = {
+            "layer_index": index,
+            "layer": layer.name,
+            "lower_bound_gb": words_to_mb(reg_lower_bound(layer)) / 1024.0,
+        }
+        for model in models:
+            result = model.run_layer(layer)
+            row[f"{model.config.name}_gb"] = words_to_mb(result.reg_accesses) / 1024.0
+        rows.append(row)
+    return rows

@@ -1,0 +1,30 @@
+"""Memory and PE utilisation experiment (Fig. 20)."""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+def utilization_report(layers: list = None, implementations: list = None) -> list:
+    """Fig. 20: average GBuf / GReg / LReg / overall-memory / PE utilisation."""
+    if layers is None:
+        layers = vgg16_conv_layers()
+    if implementations is None:
+        implementations = list(PAPER_IMPLEMENTATIONS)
+    rows = []
+    for config in implementations:
+        model = AcceleratorModel(config)
+        network = model.run_network(layers)
+        rows.append(
+            {
+                "implementation": config.name,
+                "gbuf": network.utilization("gbuf"),
+                "greg": network.utilization("greg"),
+                "lreg": network.utilization("lreg"),
+                "memory_overall": network.utilization("memory"),
+                "pe": network.utilization("pe"),
+            }
+        )
+    return rows

@@ -1,0 +1,27 @@
+"""Accelerator architecture model (Section V of the paper).
+
+* :mod:`repro.arch.config` -- architecture parameters and the five paper
+  implementations of Table I.
+* :mod:`repro.arch.memory` -- counting models of the DRAM, GBufs, GRegs and
+  LRegs.
+* :mod:`repro.arch.mapping` -- the workload & storage mapping of Fig. 8/9
+  (per-PE tile shapes, passes, halo accounting).
+* :mod:`repro.arch.accelerator` -- the tile-exact analytic simulator that
+  produces DRAM/GBuf/Reg access counts, cycle counts and utilisations.
+* :mod:`repro.arch.functional` -- a functional simulator that executes small
+  layers numerically through instrumented memories (used for validation).
+* :mod:`repro.arch.performance` -- execution-time / waiting-time / power
+  model (Fig. 19).
+"""
+
+from repro.arch.config import AcceleratorConfig, PAPER_IMPLEMENTATIONS, paper_implementation
+from repro.arch.accelerator import AcceleratorModel, LayerRunResult, NetworkRunResult
+
+__all__ = [
+    "AcceleratorConfig",
+    "PAPER_IMPLEMENTATIONS",
+    "paper_implementation",
+    "AcceleratorModel",
+    "LayerRunResult",
+    "NetworkRunResult",
+]

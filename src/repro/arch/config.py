@@ -1,0 +1,169 @@
+"""Accelerator configuration and the five implementations of Table I.
+
+The architecture (Fig. 10/11) consists of a ``p x q`` PE array partitioned
+into ``pg x qg`` PE groups, a weight GBuf (WGBuf), an input GBuf (IGBuf),
+global registers (GRegs) shared inside each group, and per-PE local registers
+(LRegs) that hold partial sums.  All datapaths are 16-bit, so one word is two
+bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.traffic import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Parameters of one accelerator implementation.
+
+    Capacities are in 16-bit words unless the name says otherwise.
+    """
+
+    name: str
+    pe_rows: int
+    pe_cols: int
+    lreg_words_per_pe: int
+    igbuf_words: int
+    wgbuf_words: int
+    greg_bytes: int
+    group_rows: int = 4
+    group_cols: int = 4
+    clock_hz: float = 500e6
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "pe_rows",
+            "pe_cols",
+            "lreg_words_per_pe",
+            "igbuf_words",
+            "wgbuf_words",
+            "greg_bytes",
+            "group_rows",
+            "group_cols",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.pe_rows % self.group_rows or self.pe_cols % self.group_cols:
+            raise ValueError("PE array dimensions must be multiples of the group dimensions")
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements (``p * q``)."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def psum_words(self) -> int:
+        """Total Psum capacity: every PE's LRegs (the ``S`` of Eq. (15))."""
+        return self.num_pes * self.lreg_words_per_pe
+
+    @property
+    def gbuf_words(self) -> int:
+        """Total GBuf capacity (IGBuf + WGBuf) in words."""
+        return self.igbuf_words + self.wgbuf_words
+
+    @property
+    def effective_on_chip_words(self) -> int:
+        """Effective on-chip memory: Psums + GBufs (no duplicated data)."""
+        return self.psum_words + self.gbuf_words
+
+    @property
+    def effective_on_chip_kib(self) -> float:
+        """Effective on-chip memory in KiB (the x-axis of Fig. 13)."""
+        return self.effective_on_chip_words * BYTES_PER_WORD / 1024.0
+
+    @property
+    def lreg_bytes_per_pe(self) -> int:
+        """LReg size per PE in bytes (the Table I / Table II granularity)."""
+        return self.lreg_words_per_pe * BYTES_PER_WORD
+
+    @property
+    def gbuf_kib(self) -> float:
+        """GBuf (IGBuf + WGBuf) capacity in KiB."""
+        return self.gbuf_words * BYTES_PER_WORD / 1024.0
+
+    @property
+    def greg_kib(self) -> float:
+        """GReg capacity in KiB."""
+        return self.greg_bytes / 1024.0
+
+    # ---------------------------------------------------------------- groups
+
+    @property
+    def num_group_rows(self) -> int:
+        """Number of PE-group rows (= number of weight GReg copies)."""
+        return self.pe_rows // self.group_rows
+
+    @property
+    def num_group_cols(self) -> int:
+        """Number of PE-group columns (= number of input GReg copies)."""
+        return self.pe_cols // self.group_cols
+
+    def describe(self) -> str:
+        """Human-readable summary matching the Table I columns."""
+        return (
+            f"{self.name}: {self.pe_rows}x{self.pe_cols} PEs, "
+            f"GBuf {self.gbuf_kib:.3f} KB, LReg {self.lreg_bytes_per_pe} B/PE, "
+            f"GReg {self.greg_kib:.0f} KB, effective on-chip "
+            f"{self.effective_on_chip_kib:.3f} KB"
+        )
+
+
+#: The five implementations evaluated in the paper (Table I).
+PAPER_IMPLEMENTATIONS = (
+    AcceleratorConfig(
+        name="implementation-1",
+        pe_rows=16,
+        pe_cols=16,
+        lreg_words_per_pe=128,  # 256 B per PE
+        igbuf_words=1024,  # 2 KB
+        wgbuf_words=256,  # 0.5 KB
+        greg_bytes=10 * 1024,
+    ),
+    AcceleratorConfig(
+        name="implementation-2",
+        pe_rows=32,
+        pe_cols=16,
+        lreg_words_per_pe=64,  # 128 B per PE
+        igbuf_words=1024,
+        wgbuf_words=256,
+        greg_bytes=15 * 1024,
+    ),
+    AcceleratorConfig(
+        name="implementation-3",
+        pe_rows=32,
+        pe_cols=32,
+        lreg_words_per_pe=32,  # 64 B per PE
+        igbuf_words=1024,
+        wgbuf_words=256,
+        greg_bytes=18 * 1024,
+    ),
+    AcceleratorConfig(
+        name="implementation-4",
+        pe_rows=32,
+        pe_cols=32,
+        lreg_words_per_pe=64,  # 128 B per PE
+        igbuf_words=1536,  # 3 KB
+        wgbuf_words=320,  # 0.625 KB
+        greg_bytes=27 * 1024,
+    ),
+    AcceleratorConfig(
+        name="implementation-5",
+        pe_rows=64,
+        pe_cols=32,
+        lreg_words_per_pe=32,  # 64 B per PE
+        igbuf_words=1536,
+        wgbuf_words=320,
+        greg_bytes=36 * 1024,
+    ),
+)
+
+
+def paper_implementation(index: int) -> AcceleratorConfig:
+    """Implementation by its 1-based Table I index."""
+    if not 1 <= index <= len(PAPER_IMPLEMENTATIONS):
+        raise IndexError(f"Table I defines implementations 1-{len(PAPER_IMPLEMENTATIONS)}")
+    return PAPER_IMPLEMENTATIONS[index - 1]

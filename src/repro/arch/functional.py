@@ -1,0 +1,182 @@
+"""Functional simulator of the proposed dataflow (Fig. 7) on small layers.
+
+This simulator executes the dataflow's loop nest *literally*: it walks the
+output blocks defined by a tiling, streams inputs and weights block by block
+and channel by channel through counting memories, accumulates real partial
+sums, and writes finished output blocks back to "DRAM".  It serves two
+purposes in the test suite:
+
+1. **Numerical correctness** -- the produced outputs must equal a direct
+   NumPy convolution, demonstrating the dataflow computes the right thing for
+   any tiling.
+2. **Counter validation** -- the counted DRAM traffic must equal the analytic
+   model of :func:`repro.core.optimal_dataflow.dataflow_traffic`, so the
+   numbers behind every figure come from a schedule that demonstrably
+   executes.
+
+It is intended for small layers (the tests use layers with up to a few
+hundred thousand MACs); the analytic model covers the full-size workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.memory import CountingMemory
+from repro.core.layer import ConvLayer
+from repro.core.mm_conversion import pad_input
+from repro.core.tiling import Tiling
+from repro.core.traffic import TrafficBreakdown
+
+
+@dataclass
+class FunctionalResult:
+    """Outputs and access counters of one functional run."""
+
+    outputs: np.ndarray
+    dram: CountingMemory
+    igbuf: CountingMemory
+    wgbuf: CountingMemory
+    dram_input_reads: int
+    dram_weight_reads: int
+    dram_output_writes: int
+
+    @property
+    def traffic(self) -> TrafficBreakdown:
+        """DRAM traffic in the same form the analytic models use."""
+        return TrafficBreakdown(
+            input_reads=float(self.dram_input_reads),
+            weight_reads=float(self.dram_weight_reads),
+            output_reads=0.0,
+            output_writes=float(self.dram_output_writes),
+        )
+
+
+class FunctionalSimulator:
+    """Executes the Fig. 7 loop nest with real data and counting memories."""
+
+    def __init__(self, igbuf_words: int = None, wgbuf_words: int = None):
+        """Optional GBuf capacities; when given, every iteration's working set
+        is checked against them (a :class:`~repro.arch.memory.CapacityError`
+        means the tiling does not fit the buffers)."""
+        self.igbuf_words = igbuf_words
+        self.wgbuf_words = wgbuf_words
+
+    def run(
+        self,
+        layer: ConvLayer,
+        tiling: Tiling,
+        inputs: np.ndarray,
+        weights: np.ndarray,
+    ) -> FunctionalResult:
+        """Execute ``layer`` on ``inputs``/``weights`` with the given tiling."""
+        expected_input_shape = (layer.batch, layer.in_channels, layer.in_height, layer.in_width)
+        expected_weight_shape = (
+            layer.out_channels,
+            layer.in_channels,
+            layer.kernel_height,
+            layer.kernel_width,
+        )
+        if inputs.shape != expected_input_shape:
+            raise ValueError(f"inputs must have shape {expected_input_shape}, got {inputs.shape}")
+        if weights.shape != expected_weight_shape:
+            raise ValueError(f"weights must have shape {expected_weight_shape}, got {weights.shape}")
+
+        tiling = tiling.clip(layer)
+        dram = CountingMemory("DRAM")
+        igbuf = CountingMemory("IGBuf", capacity_words=self.igbuf_words)
+        wgbuf = CountingMemory("WGBuf", capacity_words=self.wgbuf_words)
+
+        padded = pad_input(inputs, layer.padding)
+        dtype = np.result_type(inputs, weights)
+        outputs = np.zeros(
+            (layer.batch, layer.out_channels, layer.out_height, layer.out_width), dtype=dtype
+        )
+
+        dram_input_reads = 0
+        dram_weight_reads = 0
+        dram_output_writes = 0
+        stride = layer.stride
+        kernel_h, kernel_w = layer.kernel_height, layer.kernel_width
+
+        for b0 in range(0, layer.batch, tiling.b):
+            b1 = min(b0 + tiling.b, layer.batch)
+            for z0 in range(0, layer.out_channels, tiling.z):
+                z1 = min(z0 + tiling.z, layer.out_channels)
+                for y0 in range(0, layer.out_height, tiling.y):
+                    y1 = min(y0 + tiling.y, layer.out_height)
+                    for x0 in range(0, layer.out_width, tiling.x):
+                        x1 = min(x0 + tiling.x, layer.out_width)
+                        # Psums for this output block stay "on chip".
+                        psums = np.zeros((b1 - b0, z1 - z0, y1 - y0, x1 - x0), dtype=dtype)
+                        in_rows = (y1 - y0 - 1) * stride + kernel_h
+                        in_cols = (x1 - x0 - 1) * stride + kernel_w
+                        for k0 in range(0, layer.in_channels, tiling.k):
+                            k1 = min(k0 + tiling.k, layer.in_channels)
+                            # Load one iteration's inputs and weights from DRAM.
+                            in_block = padded[
+                                b0:b1,
+                                k0:k1,
+                                y0 * stride : y0 * stride + in_rows,
+                                x0 * stride : x0 * stride + in_cols,
+                            ]
+                            w_block = weights[z0:z1, k0:k1, :, :]
+                            # The analytic model counts the full (possibly
+                            # padded) rectangle, so count the same here.
+                            in_words = (b1 - b0) * (k1 - k0) * in_rows * in_cols
+                            w_words = w_block.size
+                            dram.read(in_words + w_words)
+                            dram_input_reads += in_words
+                            dram_weight_reads += w_words
+                            if self.igbuf_words is not None:
+                                igbuf.allocate(in_words)
+                            if self.wgbuf_words is not None:
+                                wgbuf.allocate(w_words)
+                            igbuf.write(in_words)
+                            wgbuf.write(w_words)
+
+                            psums += self._partial_update(
+                                in_block, w_block, stride, kernel_h, kernel_w, psums.shape
+                            )
+                            igbuf.read(in_words)
+                            wgbuf.read(w_words)
+                            if self.igbuf_words is not None:
+                                igbuf.release(in_words)
+                            if self.wgbuf_words is not None:
+                                wgbuf.release(w_words)
+
+                        outputs[b0:b1, z0:z1, y0:y1, x0:x1] = psums
+                        dram.write(psums.size)
+                        dram_output_writes += psums.size
+
+        return FunctionalResult(
+            outputs=outputs,
+            dram=dram,
+            igbuf=igbuf,
+            wgbuf=wgbuf,
+            dram_input_reads=dram_input_reads,
+            dram_weight_reads=dram_weight_reads,
+            dram_output_writes=dram_output_writes,
+        )
+
+    @staticmethod
+    def _partial_update(in_block, w_block, stride, kernel_h, kernel_w, out_shape):
+        """One iteration's contribution to the block's Psums."""
+        batch, channels, _, _ = in_block.shape
+        z = w_block.shape[0]
+        _, _, out_h, out_w = out_shape
+        update = np.zeros(out_shape, dtype=np.result_type(in_block, w_block))
+        for oz in range(z):
+            for kz in range(channels):
+                for ky in range(kernel_h):
+                    for kx in range(kernel_w):
+                        patch = in_block[
+                            :,
+                            kz,
+                            ky : ky + out_h * stride : stride,
+                            kx : kx + out_w * stride : stride,
+                        ]
+                        update[:, oz] += patch * w_block[oz, kz, ky, kx]
+        return update

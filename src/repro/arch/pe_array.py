@@ -1,0 +1,94 @@
+"""Structural model of the PE array, PE groups and MUX wiring (Fig. 10/11).
+
+The analytic simulator only needs the *counts* produced by
+:mod:`repro.arch.mapping`; this module models the structure itself -- which
+PE sits in which group, which GReg segment and weight MUX serve it, and which
+output channels a PE computes -- so that tests (and the functional simulator)
+can check the architectural claims directly: every PE in a row shares the
+same input GReg segment set, every PE in a column shares the same weight MUX,
+and the round-robin channel assignment of Fig. 11 covers all of ``z`` without
+collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One PE: its array position, group and LReg capacity."""
+
+    row: int
+    col: int
+    group_row: int
+    group_col: int
+    lreg_words: int
+
+    def assigned_channels(self, z: int, pe_cols: int) -> list:
+        """Output channels this PE computes for a block with ``z`` channels.
+
+        Channels are dealt round-robin across PE columns with stride ``q``
+        (Fig. 11): PE column ``c`` handles channels ``c, c+q, c+2q, ...``.
+        """
+        return list(range(self.col, z, pe_cols))
+
+
+class PEArray:
+    """The full ``p x q`` PE array with its group structure."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+        self.pes = [
+            ProcessingElement(
+                row=row,
+                col=col,
+                group_row=row // config.group_rows,
+                group_col=col // config.group_cols,
+                lreg_words=config.lreg_words_per_pe,
+            )
+            for row in range(config.pe_rows)
+            for col in range(config.pe_cols)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def pe(self, row: int, col: int) -> ProcessingElement:
+        """PE at array position ``(row, col)``."""
+        if not (0 <= row < self.config.pe_rows and 0 <= col < self.config.pe_cols):
+            raise IndexError(f"no PE at ({row}, {col})")
+        return self.pes[row * self.config.pe_cols + col]
+
+    def row(self, row: int) -> list:
+        """All PEs in one array row (they share input GReg segments)."""
+        return [self.pe(row, col) for col in range(self.config.pe_cols)]
+
+    def column(self, col: int) -> list:
+        """All PEs in one array column (they share a weight MUX)."""
+        return [self.pe(row, col) for row in range(self.config.pe_rows)]
+
+    def group(self, group_row: int, group_col: int) -> list:
+        """All PEs in one PE group (they share one GReg set)."""
+        return [
+            pe
+            for pe in self.pes
+            if pe.group_row == group_row and pe.group_col == group_col
+        ]
+
+    def num_groups(self) -> int:
+        return self.config.num_group_rows * self.config.num_group_cols
+
+    def channel_coverage(self, z: int) -> dict:
+        """Map output channel -> list of PE columns computing it.
+
+        With the round-robin assignment every channel in ``range(z)`` is
+        covered by exactly one PE column.
+        """
+        coverage = {channel: [] for channel in range(z)}
+        for col in range(self.config.pe_cols):
+            for channel in range(col, z, self.config.pe_cols):
+                coverage[channel].append(col)
+        return coverage

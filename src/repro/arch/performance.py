@@ -1,0 +1,68 @@
+"""Execution time and power model (Fig. 19).
+
+The accelerator model already splits cycles into *compute* and *waiting*
+(DRAM transfers that double buffering cannot hide).  This module converts
+cycles to seconds at the core clock and combines them with the energy model
+to obtain average power dissipation, matching the quantities of Fig. 19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.energy.model import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Execution time, power and throughput of one network on one configuration."""
+
+    config_name: str
+    compute_seconds: float
+    waiting_seconds: float
+    energy_joules: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.waiting_seconds
+
+    @property
+    def power_watts(self) -> float:
+        """Average power over the run (energy / time)."""
+        return self.energy_joules / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def waiting_fraction(self) -> float:
+        """Share of the run spent waiting on DRAM."""
+        return self.waiting_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def speedup_over(self, other: "PerformanceReport") -> float:
+        """How much faster this configuration is than ``other``."""
+        if self.total_seconds == 0:
+            raise ValueError("cannot compute a speedup for a zero-time run")
+        return other.total_seconds / self.total_seconds
+
+
+def performance_report(
+    network_result,
+    config: AcceleratorConfig,
+    energy: EnergyBreakdown,
+) -> PerformanceReport:
+    """Build the Fig. 19 quantities for one network run."""
+    compute_seconds = network_result.compute_cycles / config.clock_hz
+    waiting_seconds = network_result.waiting_cycles / config.clock_hz
+    return PerformanceReport(
+        config_name=config.name,
+        compute_seconds=compute_seconds,
+        waiting_seconds=waiting_seconds,
+        energy_joules=energy.total * 1e-12,
+    )
+
+
+def throughput_macs_per_second(network_result, config: AcceleratorConfig) -> float:
+    """Achieved MAC throughput including waiting time."""
+    total_cycles = network_result.total_cycles
+    if total_cycles == 0:
+        return 0.0
+    return network_result.macs / (total_cycles / config.clock_hz)

@@ -1,0 +1,210 @@
+"""Controller schedule generation (Section V, "Controller").
+
+The accelerator's global controller is a finite-state machine that walks the
+dataflow: for every output block it issues ``ceil(Ci/k)`` channel iterations,
+each made of ``k*Wk*Hk`` passes; each pass loads one row of the reshaped
+weight sub-matrix (``z`` weights) into the GRegs, reuses the iteration's
+inputs already resident in the GRegs, and updates every resident Psum once.
+DRAM transfers for the *next* iteration are prefetched into the GBufs while
+the current iteration computes.
+
+This module generates that schedule explicitly as a list of records.  It
+serves two purposes:
+
+* it is the executable specification of the controller FSM (tests check that
+  the schedule's aggregate loads/cycles equal the analytic simulator's
+  counters for the same tiling);
+* it provides the per-iteration timeline (compute vs. transfer) that the
+  performance model's overlap assumption rests on, so the double-buffering
+  claim is inspectable rather than implicit.
+
+The schedule is tile-granular (one record per pass), so it is only meant for
+single blocks or small layers; the analytic simulator covers full networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.mapping import BlockShape, map_block
+from repro.core.layer import ConvLayer, ceil_div
+from repro.core.tiling import Tiling
+from repro.core.traffic import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One pass: every resident Psum is updated once."""
+
+    block_index: int
+    iteration: int
+    pass_index: int
+    kernel_row: int
+    kernel_col: int
+    channel_offset: int
+    weights_loaded: int
+    cycles: int
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One channel iteration of one block, with its DRAM prefetch volume."""
+
+    block_index: int
+    iteration: int
+    input_words_loaded: int
+    weight_words_loaded: int
+    compute_cycles: int
+    transfer_cycles: float
+    passes: tuple
+
+    @property
+    def stall_cycles(self) -> float:
+        """Cycles the PE array idles waiting for this iteration's operands,
+        assuming the previous iteration's compute overlapped the transfer."""
+        return max(0.0, self.transfer_cycles - self.compute_cycles)
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """The complete schedule of one output block."""
+
+    block_index: int
+    block: BlockShape
+    iterations: tuple
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(iteration.compute_cycles for iteration in self.iterations)
+
+    @property
+    def total_passes(self) -> int:
+        return sum(len(iteration.passes) for iteration in self.iterations)
+
+    @property
+    def dram_words_loaded(self) -> int:
+        return sum(
+            iteration.input_words_loaded + iteration.weight_words_loaded
+            for iteration in self.iterations
+        )
+
+
+class ScheduleGenerator:
+    """Generates controller schedules for one accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig, dram_bandwidth_bytes_per_s: float = 6.4e9):
+        self.config = config
+        self.dram_bandwidth_bytes_per_s = dram_bandwidth_bytes_per_s
+
+    def block_schedule(
+        self, layer: ConvLayer, tiling: Tiling, block: BlockShape, block_index: int = 0
+    ) -> BlockSchedule:
+        """Schedule of one output block under ``tiling``."""
+        tiling = tiling.clip(layer)
+        mapping = map_block(layer, block, self.config)
+        cycles_per_pass = mapping.cycles_per_pass()
+        bytes_per_cycle = self.dram_bandwidth_bytes_per_s / self.config.clock_hz
+
+        input_rows = (block.y - 1) * layer.stride + layer.kernel_height
+        input_cols = (block.x - 1) * layer.stride + layer.kernel_width
+
+        iterations = []
+        iteration_count = ceil_div(layer.in_channels, tiling.k)
+        for iteration in range(iteration_count):
+            channel_base = iteration * tiling.k
+            channels = min(tiling.k, layer.in_channels - channel_base)
+            input_words = block.b * input_rows * input_cols * channels
+            weight_words = block.z * channels * layer.kernel_height * layer.kernel_width
+
+            passes = []
+            pass_index = 0
+            for channel in range(channels):
+                for kernel_row in range(layer.kernel_height):
+                    for kernel_col in range(layer.kernel_width):
+                        passes.append(
+                            PassRecord(
+                                block_index=block_index,
+                                iteration=iteration,
+                                pass_index=pass_index,
+                                kernel_row=kernel_row,
+                                kernel_col=kernel_col,
+                                channel_offset=channel_base + channel,
+                                weights_loaded=block.z,
+                                cycles=cycles_per_pass,
+                            )
+                        )
+                        pass_index += 1
+
+            compute_cycles = len(passes) * cycles_per_pass
+            transfer_cycles = (input_words + weight_words) * BYTES_PER_WORD / bytes_per_cycle
+            iterations.append(
+                IterationRecord(
+                    block_index=block_index,
+                    iteration=iteration,
+                    input_words_loaded=input_words,
+                    weight_words_loaded=weight_words,
+                    compute_cycles=compute_cycles,
+                    transfer_cycles=transfer_cycles,
+                    passes=tuple(passes),
+                )
+            )
+        return BlockSchedule(block_index=block_index, block=block, iterations=tuple(iterations))
+
+    def layer_schedule(self, layer: ConvLayer, tiling: Tiling = None, max_blocks: int = None):
+        """Yield :class:`BlockSchedule` objects for a whole (small) layer.
+
+        Blocks are visited in the Fig. 7 loop order (batch, output channel,
+        row, column).  ``max_blocks`` truncates the walk for demonstration
+        purposes on large layers.
+        """
+        if tiling is None:
+            tiling = Tiling(
+                b=1,
+                z=min(layer.out_channels, self.config.pe_cols),
+                y=min(layer.out_height, self.config.pe_rows),
+                x=layer.out_width,
+                k=1,
+            )
+        tiling = tiling.clip(layer)
+        block_index = 0
+        for batch_start in range(0, layer.batch, tiling.b):
+            for channel_start in range(0, layer.out_channels, tiling.z):
+                for row_start in range(0, layer.out_height, tiling.y):
+                    for col_start in range(0, layer.out_width, tiling.x):
+                        if max_blocks is not None and block_index >= max_blocks:
+                            return
+                        block = BlockShape(
+                            b=min(tiling.b, layer.batch - batch_start),
+                            z=min(tiling.z, layer.out_channels - channel_start),
+                            y=min(tiling.y, layer.out_height - row_start),
+                            x=min(tiling.x, layer.out_width - col_start),
+                        )
+                        yield self.block_schedule(layer, tiling, block, block_index)
+                        block_index += 1
+
+
+def schedule_summary(schedules: list) -> dict:
+    """Aggregate a list of :class:`BlockSchedule` into totals.
+
+    Used by tests to check the explicit schedule agrees with the analytic
+    simulator, and by users who want a quick picture of a layer's timeline.
+    """
+    compute = sum(schedule.compute_cycles for schedule in schedules)
+    stall = sum(
+        iteration.stall_cycles
+        for schedule in schedules
+        for iteration in schedule.iterations[1:]
+    )
+    first_fills = sum(
+        schedule.iterations[0].transfer_cycles for schedule in schedules if schedule.iterations
+    )
+    dram_words = sum(schedule.dram_words_loaded for schedule in schedules)
+    passes = sum(schedule.total_passes for schedule in schedules)
+    return {
+        "blocks": len(schedules),
+        "passes": passes,
+        "compute_cycles": compute,
+        "stall_cycles": stall + first_fills,
+        "dram_words_loaded": dram_words,
+    }

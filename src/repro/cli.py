@@ -1,0 +1,167 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Examples::
+
+    repro-experiments fig13 --capacities 16 66.5 128 256
+    repro-experiments table3
+    repro-experiments fig18
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.energy_report import energy_report
+from repro.analysis.eyeriss_compare import eyeriss_comparison
+from repro.analysis.performance_report import performance_comparison
+from repro.analysis.report import (
+    format_dict_rows,
+    format_energy_report,
+    format_gbuf_dram_ratio,
+    format_memory_sweep,
+)
+from repro.analysis.sweep import (
+    gbuf_dram_ratio,
+    gbuf_per_layer,
+    memory_sweep,
+    per_layer_dram,
+    reg_per_layer,
+)
+from repro.analysis.utilization_report import utilization_report
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.energy.model import OPERATION_ENERGY
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+def _print_table1() -> None:
+    print("Table I: implementations of our architecture")
+    for config in PAPER_IMPLEMENTATIONS:
+        print("  " + config.describe())
+
+
+def _print_table2() -> None:
+    print("Table II: energy consumption of operations (pJ)")
+    for name, value in OPERATION_ENERGY.items():
+        print(f"  {name:>14}: {value}")
+
+
+def _print_fig13(capacities) -> None:
+    sweep = memory_sweep(capacities_kib=capacities)
+    print("Fig. 13: DRAM access volume (GB) vs effective on-chip memory")
+    print(format_memory_sweep(sweep))
+
+
+def _print_fig14() -> None:
+    rows = per_layer_dram()
+    print("Fig. 14: per-layer DRAM access volume (MB) at 66.5 KB on-chip memory")
+    print(format_dict_rows(rows))
+
+
+def _print_fig15_table3() -> None:
+    comparison = eyeriss_comparison()
+    print("Fig. 15: per-layer DRAM access (MB) at 173.5 KB effective on-chip memory")
+    print(format_dict_rows(comparison["per_layer"]))
+    print()
+    print("Table III: comparison with Eyeriss on DRAM access")
+    for name, row in comparison["summary"]["rows"].items():
+        print(
+            f"  {name:>20}: {row['dram_access_mb']:.1f} MB, "
+            f"{row['dram_access_per_mac']:.4f} access/MAC"
+        )
+
+
+def _print_fig16() -> None:
+    rows = gbuf_per_layer()
+    print("Fig. 16: per-layer GBuf access volume (MB)")
+    print(format_dict_rows(rows))
+
+
+def _print_table4() -> None:
+    print("Table IV: GBuf vs DRAM access volume (implementation 1)")
+    print(format_gbuf_dram_ratio(gbuf_dram_ratio()))
+
+
+def _print_fig17() -> None:
+    rows = reg_per_layer()
+    print("Fig. 17: per-layer register access volume (GB)")
+    print(format_dict_rows(rows))
+
+
+def _print_fig18() -> None:
+    print("Fig. 18: energy efficiency")
+    print(format_energy_report(energy_report()))
+
+
+def _print_fig19() -> None:
+    rows = performance_comparison()
+    print("Fig. 19: performance and power")
+    print(format_dict_rows(rows))
+
+
+def _print_fig20() -> None:
+    rows = utilization_report()
+    print("Fig. 20: memory and PE utilisation")
+    print(format_dict_rows(rows))
+
+
+_EXPERIMENTS = {
+    "table1": _print_table1,
+    "table2": _print_table2,
+    "fig13": None,  # handled specially (capacities argument)
+    "fig14": _print_fig14,
+    "fig15": _print_fig15_table3,
+    "table3": _print_fig15_table3,
+    "fig16": _print_fig16,
+    "table4": _print_table4,
+    "fig17": _print_fig17,
+    "fig18": _print_fig18,
+    "fig19": _print_fig19,
+    "fig20": _print_fig20,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the HPCA'20 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--capacities",
+        type=float,
+        nargs="+",
+        default=[16, 32, 64, 66.5, 128, 173.5, 256],
+        help="effective on-chip memory sizes in KB for fig13",
+    )
+    return parser
+
+
+def main(argv: list = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Touch the workload once so argument errors surface before long runs.
+    vgg16_conv_layers()
+    if args.experiment == "all":
+        for name in ("table1", "table2", "fig13", "fig14", "fig15", "fig16",
+                     "table4", "fig17", "fig18", "fig19", "fig20"):
+            _dispatch(name, args)
+            print()
+        return 0
+    _dispatch(args.experiment, args)
+    return 0
+
+
+def _dispatch(name: str, args) -> None:
+    if name == "fig13":
+        _print_fig13(args.capacities)
+        return
+    _EXPERIMENTS[name]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core analytical models: layers, tiling, lower bounds, and the optimal dataflow.
+
+This subpackage implements the paper's primary contribution:
+
+* :mod:`repro.core.layer` -- convolutional/FC layer descriptions.
+* :mod:`repro.core.mm_conversion` -- the convolution-to-matrix-multiplication
+  relation (Section III-A) and the sliding-window reuse factor ``R``.
+* :mod:`repro.core.matmul` -- a communication-optimal blocked matrix
+  multiplication with traffic counting (the ``R = 1`` special case).
+* :mod:`repro.core.pebble` -- a small executable red-blue pebble game /
+  S-partition substrate (Section II-C).
+* :mod:`repro.core.lower_bound` -- Theorem 2, the practical bound of Eq. (15),
+  and the GBuf / register bounds of Section IV.
+* :mod:`repro.core.tiling` -- the ``{b, z, y, x, k}`` tiling abstraction.
+* :mod:`repro.core.optimal_dataflow` -- tiling selection and the exact DRAM
+  traffic of the proposed dataflow (Eq. (14)).
+"""
+
+from repro.core.layer import ConvLayer
+from repro.core.tiling import Tiling
+from repro.core.lower_bound import (
+    theorem2_lower_bound,
+    practical_lower_bound,
+    naive_traffic,
+    reg_lower_bound,
+    gbuf_lower_bound,
+)
+from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+
+__all__ = [
+    "ConvLayer",
+    "Tiling",
+    "theorem2_lower_bound",
+    "practical_lower_bound",
+    "naive_traffic",
+    "reg_lower_bound",
+    "gbuf_lower_bound",
+    "choose_tiling",
+    "dataflow_traffic",
+]

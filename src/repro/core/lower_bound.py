@@ -1,0 +1,123 @@
+"""Communication lower bounds (Sections III and IV of the paper).
+
+* :func:`theorem2_lower_bound` -- the asymptotic off-chip bound of Theorem 2,
+  ``Q_DRAM = Omega(B*Wo*Ho*Co*Wk*Hk*Ci / sqrt(R*S))``.
+* :func:`practical_lower_bound` -- the achievable form of Eq. (15):
+  ``2*B*Wo*Ho*Co*Wk*Hk*Ci / sqrt(R*S) + B*Wo*Ho*Co``.
+* :func:`gbuf_lower_bound` -- the GBuf bound of Section IV-B1 (loaded inputs
+  and weights are read exactly once).
+* :func:`reg_lower_bound` -- the register bound of Eq. (16) (one register
+  write per MAC).
+* :func:`naive_traffic` -- off-chip traffic of a reuse-free implementation
+  (``2 * #MACs``), the reference the bound divides by ``sqrt(R*S)``.
+
+All quantities are in words (16-bit entries in the paper's accelerator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """All bounds for one layer under a given effective on-chip capacity."""
+
+    layer_name: str
+    on_chip_words: int
+    theorem2: float
+    practical: float
+    ideal: float
+    naive: float
+    gbuf: float
+    reg: int
+
+    def reduction_factor(self) -> float:
+        """Traffic reduction of the bound relative to the naive implementation."""
+        return self.naive / self.practical if self.practical else float("inf")
+
+
+def naive_traffic(layer: ConvLayer) -> int:
+    """Off-chip traffic of a convolution with no data reuse at all.
+
+    Every MAC reads one input and one weight from DRAM: ``2 * #MACs`` words
+    (output writes are a lower-order term the paper omits here).
+    """
+    return 2 * layer.macs
+
+
+def ideal_traffic(layer: ConvLayer) -> int:
+    """Off-chip traffic when every tensor is touched exactly once.
+
+    This is the unconditional minimum (requires the on-chip memory to hold an
+    entire operand tensor); the paper cites [36] for the memory needed to
+    reach it.
+    """
+    return layer.num_inputs + layer.num_weights + layer.num_outputs
+
+
+def theorem2_lower_bound(layer: ConvLayer, on_chip_words: int) -> float:
+    """Asymptotic lower bound of Theorem 2 (Eq. (13)), in words.
+
+    ``on_chip_words`` is the effective on-chip memory ``S`` in words.
+    """
+    if on_chip_words < 1:
+        raise ValueError("on-chip capacity must be at least one word")
+    numerator = layer.macs  # B*Wo*Ho*Co*Wk*Hk*Ci
+    return numerator / math.sqrt(layer.window_reuse * on_chip_words)
+
+
+def practical_lower_bound(layer: ConvLayer, on_chip_words: int) -> float:
+    """Achievable lower bound of Eq. (15), in words.
+
+    ``2*B*Wo*Ho*Co*Wk*Hk*Ci / sqrt(R*S) + B*Wo*Ho*Co`` with ``u*z = S``.  The
+    result is additionally clamped from below by the ideal once-through
+    traffic: no schedule can read a tensor less than once.
+    """
+    if on_chip_words < 1:
+        raise ValueError("on-chip capacity must be at least one word")
+    read_bound = 2.0 * layer.macs / math.sqrt(layer.window_reuse * on_chip_words)
+    write_bound = float(layer.num_outputs)
+    bound = read_bound + write_bound
+    return max(bound, float(ideal_traffic(layer)))
+
+
+def gbuf_lower_bound(dram_input_reads: float, dram_weight_reads: float) -> float:
+    """GBuf communication lower bound (Section IV-B1).
+
+    Everything loaded from DRAM into the GBuf must be written once and read
+    once by the PEs; Psums never touch the GBuf.  The bound therefore equals
+    twice the DRAM read volume of inputs and weights.
+    """
+    return 2.0 * (dram_input_reads + dram_weight_reads)
+
+
+def reg_lower_bound(layer: ConvLayer) -> int:
+    """Register communication lower bound of Eq. (16): one write per MAC."""
+    return layer.macs
+
+
+def bound_report(layer: ConvLayer, on_chip_words: int) -> BoundReport:
+    """Bundle every bound for ``layer`` under ``on_chip_words`` of memory."""
+    practical = practical_lower_bound(layer, on_chip_words)
+    # The practical bound's read portion splits evenly between inputs and
+    # weights when b*x*y = R*z holds; use it to seed the GBuf bound.
+    read_portion = max(practical - layer.num_outputs, 0.0)
+    return BoundReport(
+        layer_name=layer.name,
+        on_chip_words=on_chip_words,
+        theorem2=theorem2_lower_bound(layer, on_chip_words),
+        practical=practical,
+        ideal=float(ideal_traffic(layer)),
+        naive=float(naive_traffic(layer)),
+        gbuf=gbuf_lower_bound(read_portion / 2.0, read_portion / 2.0),
+        reg=reg_lower_bound(layer),
+    )
+
+
+def network_lower_bound(layers: list, on_chip_words: int) -> float:
+    """Sum of per-layer practical lower bounds over a network, in words."""
+    return sum(practical_lower_bound(layer, on_chip_words) for layer in layers)

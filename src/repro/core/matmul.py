@@ -1,0 +1,149 @@
+"""Communication-optimal blocked matrix multiplication.
+
+Section III-B shows that with ``R = 1`` a convolutional layer is exactly a
+matrix multiplication, and the paper's dataflow degenerates into the
+communication-optimal blocked MM of Hong & Kung / Goto: keep an output block
+of ~``S`` words resident, stream matching panels of ``A`` and ``B``.
+
+This module provides
+
+* :func:`blocked_mm_traffic` -- the analytic slow-memory traffic of the
+  blocked schedule for given block sizes;
+* :func:`optimal_block_sizes` -- block sizes that minimise that traffic for a
+  fast memory of ``S`` words (square-ish output blocks);
+* :func:`mm_lower_bound` -- the classic ``2*m*k*n/sqrt(S)`` bound;
+* :class:`CountingBlockedMatMul` -- an executable blocked MM over NumPy
+  arrays that counts slow-memory reads/writes so tests can confirm the
+  analytic model matches an actual schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layer import ceil_div
+
+
+@dataclass(frozen=True)
+class MatMulTraffic:
+    """Slow-memory traffic of a blocked matrix multiplication, in words."""
+
+    a_reads: int
+    b_reads: int
+    c_writes: int
+
+    @property
+    def total(self) -> int:
+        return self.a_reads + self.b_reads + self.c_writes
+
+
+def mm_lower_bound(m: int, kk: int, n: int, fast_words: int) -> float:
+    """Hong-Kung style lower bound ``2*m*kk*n / sqrt(S) + m*n`` words."""
+    if fast_words < 1:
+        raise ValueError("fast memory must hold at least one word")
+    return 2.0 * m * kk * n / math.sqrt(fast_words) + m * n
+
+
+def blocked_mm_traffic(m: int, kk: int, n: int, block_m: int, block_n: int) -> MatMulTraffic:
+    """Traffic of the output-stationary blocked schedule.
+
+    The ``block_m x block_n`` output block stays resident; the corresponding
+    ``block_m x kk`` panel of ``A`` and ``kk x block_n`` panel of ``B`` are
+    streamed once per block.
+    """
+    if block_m < 1 or block_n < 1:
+        raise ValueError("block sizes must be >= 1")
+    block_m = min(block_m, m)
+    block_n = min(block_n, n)
+    blocks_m = ceil_div(m, block_m)
+    blocks_n = ceil_div(n, block_n)
+    a_reads = blocks_n * m * kk
+    b_reads = blocks_m * kk * n
+    c_writes = m * n
+    return MatMulTraffic(a_reads=a_reads, b_reads=b_reads, c_writes=c_writes)
+
+
+def optimal_block_sizes(m: int, kk: int, n: int, fast_words: int) -> tuple:
+    """Choose ``(block_m, block_n)`` minimising traffic under ``S`` words.
+
+    The analysis (and the paper's Lemma 2 with ``R = 1``) gives a square
+    output block of side ``~sqrt(S)``; the streamed panels need only a
+    column/row at a time, so nearly all of ``S`` goes to the output block.
+    We search a small neighbourhood of the analytic optimum to account for
+    integer effects and the panel buffers (one column of ``A`` and one row of
+    ``B`` per accumulation step).
+    """
+    if fast_words < 4:
+        return 1, 1
+    side = max(1, int(math.sqrt(fast_words)))
+    best = None
+    for block_m in _candidate_sizes(side, m):
+        for block_n in _candidate_sizes(side, n):
+            # one column of the A panel + one row of the B panel are resident
+            footprint = block_m * block_n + block_m + block_n
+            if footprint > fast_words:
+                continue
+            traffic = blocked_mm_traffic(m, kk, n, block_m, block_n).total
+            key = (traffic, -(block_m * block_n))
+            if best is None or key < best[0]:
+                best = (key, (block_m, block_n))
+    if best is None:
+        return 1, 1
+    return best[1]
+
+
+def _candidate_sizes(side: int, limit: int) -> list:
+    """Candidate block sizes around the analytic optimum, clipped to ``limit``."""
+    raw = {1, limit}
+    for scale in (0.25, 0.5, 0.75, 1.0):
+        raw.add(max(1, int(side * scale)))
+    for delta in range(-3, 4):
+        raw.add(max(1, side + delta))
+    return sorted(value for value in raw if 1 <= value <= limit)
+
+
+class CountingBlockedMatMul:
+    """Executable output-stationary blocked MM with slow-memory counters.
+
+    The matrices live in "slow memory" (plain NumPy arrays); each element read
+    from ``a``/``b`` or written to the result increments a counter.  Reads of
+    the resident output block do not count -- the block lives in fast memory
+    until complete, exactly as in the paper's dataflow.
+    """
+
+    def __init__(self, block_m: int, block_n: int):
+        if block_m < 1 or block_n < 1:
+            raise ValueError("block sizes must be >= 1")
+        self.block_m = block_m
+        self.block_n = block_n
+        self.a_reads = 0
+        self.b_reads = 0
+        self.c_writes = 0
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Compute ``a @ b`` block by block, counting slow-memory traffic."""
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError("incompatible matrix shapes")
+        m, kk = a.shape
+        _, n = b.shape
+        result = np.zeros((m, n), dtype=np.result_type(a, b))
+        for row_start in range(0, m, self.block_m):
+            row_end = min(row_start + self.block_m, m)
+            for col_start in range(0, n, self.block_n):
+                col_end = min(col_start + self.block_n, n)
+                a_panel = a[row_start:row_end, :]
+                b_panel = b[:, col_start:col_end]
+                self.a_reads += a_panel.size
+                self.b_reads += b_panel.size
+                block = a_panel @ b_panel
+                result[row_start:row_end, col_start:col_end] = block
+                self.c_writes += block.size
+        return result
+
+    @property
+    def traffic(self) -> MatMulTraffic:
+        """Counted traffic so far."""
+        return MatMulTraffic(self.a_reads, self.b_reads, self.c_writes)

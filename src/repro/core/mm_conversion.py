@@ -1,0 +1,170 @@
+"""Convolution-to-matrix-multiplication conversion (Section III-A, Fig. 3).
+
+The paper's derivation rests on viewing a convolutional layer as the matrix
+product ``A @ B = C`` where
+
+* ``A`` is the *unfolded* input matrix: one row per sliding window (i.e. per
+  output position per image), ``Wk*Hk*Ci`` columns;
+* ``B`` is the reshaped weight matrix: ``Wk*Hk*Ci`` rows, ``Co`` columns;
+* ``C`` is the reshaped output matrix: ``B*Wo*Ho`` rows, ``Co`` columns.
+
+The conversion is *logically* equivalent but not *algorithmically*
+equivalent: the unfolding replicates each input up to ``R = Wk*Hk/D^2`` times
+(sliding-window reuse), which is exactly the extra reuse level convolutions
+have over matrix multiplications.
+
+This module provides both the dimension bookkeeping used by the analytical
+models and a NumPy im2col implementation used by the functional simulator and
+the tests to verify numerical equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layer import ConvLayer
+
+
+@dataclass(frozen=True)
+class MatMulShape:
+    """Dimensions of the converted matrix multiplication ``(m x kk) @ (kk x n)``."""
+
+    m: int
+    kk: int
+    n: int
+
+    @property
+    def flops(self) -> int:
+        """Multiply-accumulate count of the product."""
+        return self.m * self.kk * self.n
+
+    @property
+    def input_matrix_words(self) -> int:
+        """Words in the (unfolded) input matrix ``A``."""
+        return self.m * self.kk
+
+    @property
+    def weight_matrix_words(self) -> int:
+        """Words in the weight matrix ``B``."""
+        return self.kk * self.n
+
+    @property
+    def output_matrix_words(self) -> int:
+        """Words in the output matrix ``C``."""
+        return self.m * self.n
+
+
+def conv_to_mm_shape(layer: ConvLayer) -> MatMulShape:
+    """Dimensions of the matrix multiplication a layer converts to (Fig. 3)."""
+    return MatMulShape(
+        m=layer.batch * layer.out_height * layer.out_width,
+        kk=layer.kernel_height * layer.kernel_width * layer.in_channels,
+        n=layer.out_channels,
+    )
+
+
+def unfolding_expansion(layer: ConvLayer) -> float:
+    """Ratio of unfolded-input-matrix words to original input words.
+
+    Equals the *average realised* sliding-window reuse; bounded above by
+    ``R = Wk*Hk/D^2`` and approaches it for large feature maps.
+    """
+    shape = conv_to_mm_shape(layer)
+    return shape.input_matrix_words / float(layer.num_inputs)
+
+
+# --------------------------------------------------------------------------- numpy
+
+
+def pad_input(inputs: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad an input tensor of shape ``(B, Ci, Hi, Wi)`` spatially."""
+    if padding == 0:
+        return inputs
+    return np.pad(
+        inputs,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def im2col(inputs: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Unfold an input tensor into the matrix ``A`` of Fig. 3.
+
+    ``inputs`` has shape ``(B, Ci, Hi, Wi)``; the result has shape
+    ``(B*Ho*Wo, Ci*Hk*Wk)`` with the column order matching
+    :func:`weights_to_matrix` (channel-major, then kernel row, then kernel
+    column).
+    """
+    padded = pad_input(inputs, layer.padding)
+    batch, channels, _, _ = padded.shape
+    out_h, out_w = layer.out_height, layer.out_width
+    stride = layer.stride
+    kh, kw = layer.kernel_height, layer.kernel_width
+
+    rows = np.empty((batch * out_h * out_w, channels * kh * kw), dtype=padded.dtype)
+    row = 0
+    for image in range(batch):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                window = padded[
+                    image,
+                    :,
+                    oy * stride : oy * stride + kh,
+                    ox * stride : ox * stride + kw,
+                ]
+                rows[row] = window.reshape(-1)
+                row += 1
+    return rows
+
+
+def weights_to_matrix(weights: np.ndarray) -> np.ndarray:
+    """Reshape a weight tensor ``(Co, Ci, Hk, Wk)`` into the matrix ``B``."""
+    out_channels = weights.shape[0]
+    return weights.reshape(out_channels, -1).T
+
+
+def outputs_to_matrix(outputs: np.ndarray) -> np.ndarray:
+    """Reshape an output tensor ``(B, Co, Ho, Wo)`` into the matrix ``C``."""
+    batch, out_channels, out_h, out_w = outputs.shape
+    return outputs.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, out_channels)
+
+
+def matrix_to_outputs(matrix: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Inverse of :func:`outputs_to_matrix`."""
+    return matrix.reshape(
+        layer.batch, layer.out_height, layer.out_width, layer.out_channels
+    ).transpose(0, 3, 1, 2)
+
+
+def reference_convolution(inputs: np.ndarray, weights: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Direct 7-loop convolution (Fig. 2), vectorised over the batch.
+
+    Used as the ground truth in tests; shape ``(B, Co, Ho, Wo)``.
+    """
+    padded = pad_input(inputs, layer.padding)
+    out = np.zeros(
+        (layer.batch, layer.out_channels, layer.out_height, layer.out_width),
+        dtype=np.result_type(inputs, weights),
+    )
+    for oz in range(layer.out_channels):
+        for ky in range(layer.kernel_height):
+            for kx in range(layer.kernel_width):
+                for kz in range(layer.in_channels):
+                    patch = padded[
+                        :,
+                        kz,
+                        ky : ky + layer.out_height * layer.stride : layer.stride,
+                        kx : kx + layer.out_width * layer.stride : layer.stride,
+                    ]
+                    out[:, oz] += patch * weights[oz, kz, ky, kx]
+    return out
+
+
+def convolution_via_mm(inputs: np.ndarray, weights: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Compute the layer by explicit unfold + matrix multiplication."""
+    unfolded = im2col(inputs, layer)
+    weight_matrix = weights_to_matrix(weights)
+    output_matrix = unfolded @ weight_matrix
+    return matrix_to_outputs(output_matrix, layer)

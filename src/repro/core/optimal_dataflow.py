@@ -1,0 +1,236 @@
+"""The paper's communication-optimal dataflow (Section IV-A).
+
+The dataflow keeps an output block of ``u x z`` Psums (``u = b*x*y``)
+resident on chip and streams matching slices of inputs and weights, one input
+channel (``k = 1``) at a time.  Its DRAM traffic for a tiling ``{b,z,y,x,k}``
+is Eq. (14):
+
+    Q_read = ceil(B/b)*ceil(Co/z)*ceil(Ho/y)*ceil(Wo/x)
+             * (Wk*Hk*Ci*z + b*x'*y'*Ci)
+    Q_write = B*Ho*Wo*Co
+
+and the traffic is minimised when ``b*x*y ~= R*z`` and ``b*x*y*z ~= S``
+(Psums get nearly all of the on-chip memory).
+
+:func:`choose_tiling` implements the paper's selection rule plus a local
+refinement search; :func:`dataflow_traffic` evaluates Eq. (14) exactly,
+including boundary (partial-tile) effects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.layer import ConvLayer, ceil_div
+from repro.core.tiling import Tiling
+from repro.core.traffic import TrafficBreakdown
+
+
+def dataflow_traffic(layer: ConvLayer, tiling: Tiling, exact: bool = True) -> TrafficBreakdown:
+    """DRAM traffic of the proposed dataflow for ``tiling`` (Eq. (14)).
+
+    When ``exact`` is true the block counts use ceiling division and partial
+    edge blocks are clipped to the tensor boundary, which is what the
+    accelerator actually does; otherwise the closed-form approximation of the
+    paper is returned.
+    """
+    tiling = tiling.clip(layer)
+    if exact:
+        return _exact_traffic(layer, tiling)
+    blocks = (
+        (layer.batch / tiling.b)
+        * (layer.out_channels / tiling.z)
+        * (layer.out_height / tiling.y)
+        * (layer.out_width / tiling.x)
+    )
+    weight_reads = blocks * layer.kernel_height * layer.kernel_width * layer.in_channels * tiling.z
+    input_reads = blocks * tiling.b * tiling.input_patch(layer) * layer.in_channels
+    return TrafficBreakdown(
+        input_reads=input_reads,
+        weight_reads=weight_reads,
+        output_reads=0.0,
+        output_writes=float(layer.num_outputs),
+    )
+
+
+def _exact_traffic(layer: ConvLayer, tiling: Tiling) -> TrafficBreakdown:
+    """Eq. (14) with integer block counts and boundary-clipped edge tiles."""
+    input_reads = 0
+    weight_reads = 0
+    kernel_area = layer.kernel_height * layer.kernel_width
+
+    # Iterate over the distinct tile shapes along each dimension instead of
+    # every block: edge tiles may be smaller, interior tiles all match.
+    for b_size, b_count in _tile_shapes(layer.batch, tiling.b):
+        for z_size, z_count in _tile_shapes(layer.out_channels, tiling.z):
+            for y_size, y_count in _tile_shapes(layer.out_height, tiling.y):
+                for x_size, x_count in _tile_shapes(layer.out_width, tiling.x):
+                    blocks = b_count * z_count * y_count * x_count
+                    rows = (y_size - 1) * layer.stride + layer.kernel_height
+                    cols = (x_size - 1) * layer.stride + layer.kernel_width
+                    input_reads += blocks * b_size * rows * cols * layer.in_channels
+                    weight_reads += blocks * kernel_area * layer.in_channels * z_size
+    return TrafficBreakdown(
+        input_reads=float(input_reads),
+        weight_reads=float(weight_reads),
+        output_reads=0.0,
+        output_writes=float(layer.num_outputs),
+    )
+
+
+def _tile_shapes(extent: int, tile: int) -> list:
+    """Distinct (tile size, count) pairs when tiling ``extent`` by ``tile``."""
+    tile = min(tile, extent)
+    full = extent // tile
+    remainder = extent - full * tile
+    shapes = []
+    if full:
+        shapes.append((tile, full))
+    if remainder:
+        shapes.append((remainder, 1))
+    return shapes
+
+
+@dataclass(frozen=True)
+class TilingChoice:
+    """A tiling together with the traffic it produces."""
+
+    tiling: Tiling
+    traffic: TrafficBreakdown
+
+    @property
+    def total(self) -> float:
+        return self.traffic.total
+
+
+def analytic_tiling(layer: ConvLayer, on_chip_words: int) -> Tiling:
+    """The paper's closed-form tiling: ``b*x*y ~= R*z`` and ``b*x*y*z ~= S``.
+
+    Solving the two conditions gives ``z ~= sqrt(S / R)`` and
+    ``u = b*x*y ~= sqrt(S * R)``.  The spatial tile is made as square as
+    possible; the batch dimension is only used when one image's output plane
+    is smaller than ``u`` (the paper's ``u = b*x*y`` fallback).
+    """
+    reuse = layer.window_reuse
+    z = max(1, min(layer.out_channels, int(round(math.sqrt(on_chip_words / reuse)))))
+    u_target = max(1, int(round(math.sqrt(on_chip_words * reuse))))
+
+    plane = layer.out_height * layer.out_width
+    if u_target <= plane:
+        b = 1
+        side = max(1, int(round(math.sqrt(u_target))))
+        y = min(layer.out_height, side)
+        x = min(layer.out_width, max(1, u_target // y))
+    else:
+        b = min(layer.batch, max(1, u_target // plane))
+        y = layer.out_height
+        x = layer.out_width
+    return Tiling(b=b, z=z, y=y, x=x, k=1)
+
+
+def choose_tiling(
+    layer: ConvLayer,
+    on_chip_words: int,
+    refine: bool = True,
+    psum_words: int = None,
+    input_buffer_words: int = None,
+    weight_buffer_words: int = None,
+) -> TilingChoice:
+    """Pick tiling sizes for the proposed dataflow.
+
+    Without the optional capacity arguments, the only constraint is the
+    *effective on-chip memory*: Psums + one iteration's inputs and weights
+    must fit in ``on_chip_words`` (this is the paper's "our dataflow" curve).
+    When ``psum_words`` / ``input_buffer_words`` / ``weight_buffer_words`` are
+    given, the tiling additionally respects a fixed memory split (this is the
+    "our accelerator implementation" variant, which the paper reports costs an
+    extra 3-4 % of DRAM traffic).
+
+    The analytic tiling of Section IV-A seeds a local refinement search over
+    neighbouring integer tilings; ``refine=False`` returns the seed directly.
+    """
+    if on_chip_words < 8:
+        raise ValueError("on-chip capacity too small for any tiling")
+
+    def fits(tiling: Tiling) -> bool:
+        tiling = tiling.clip(layer)
+        if tiling.on_chip_footprint(layer) > on_chip_words:
+            return False
+        if psum_words is not None and tiling.output_block_size() > psum_words:
+            return False
+        if input_buffer_words is not None and tiling.staged_input_words(layer) > input_buffer_words:
+            return False
+        if weight_buffer_words is not None and tiling.staged_weight_words() > weight_buffer_words:
+            return False
+        return True
+
+    seed = analytic_tiling(layer, on_chip_words).clip(layer)
+    seed = _shrink_to_fit(layer, seed, fits)
+
+    best = TilingChoice(seed, dataflow_traffic(layer, seed))
+    if not refine:
+        return best
+
+    candidates = _neighbourhood(layer, seed)
+    for tiling in candidates:
+        tiling = tiling.clip(layer)
+        if not fits(tiling):
+            continue
+        traffic = dataflow_traffic(layer, tiling)
+        if traffic.total < best.traffic.total:
+            best = TilingChoice(tiling, traffic)
+    return best
+
+
+def _shrink_to_fit(layer: ConvLayer, tiling: Tiling, fits) -> Tiling:
+    """Shrink a seed tiling until it satisfies the capacity predicate."""
+    current = tiling
+    for _ in range(64):
+        if fits(current):
+            return current
+        # Shrink the largest contributor first: halve the spatial tile, then z.
+        if current.x * current.y * current.b > current.z and (current.x > 1 or current.y > 1 or current.b > 1):
+            if current.b > 1:
+                current = Tiling(max(1, current.b // 2), current.z, current.y, current.x, current.k)
+            elif current.y >= current.x:
+                current = Tiling(current.b, current.z, max(1, current.y // 2), current.x, current.k)
+            else:
+                current = Tiling(current.b, current.z, current.y, max(1, current.x // 2), current.k)
+        elif current.z > 1:
+            current = Tiling(current.b, max(1, current.z // 2), current.y, current.x, current.k)
+        else:
+            return current
+    return current
+
+
+def _neighbourhood(layer: ConvLayer, seed: Tiling) -> list:
+    """Integer tilings near the analytic seed (plus a few global candidates)."""
+    z_values = _around(seed.z, layer.out_channels)
+    y_values = _around(seed.y, layer.out_height)
+    x_values = _around(seed.x, layer.out_width)
+    b_values = _around(seed.b, layer.batch)
+    candidates = []
+    for b in b_values:
+        for z in z_values:
+            for y in y_values:
+                for x in x_values:
+                    candidates.append(Tiling(b=b, z=z, y=y, x=x, k=1))
+    return candidates
+
+
+def _around(value: int, limit: int) -> list:
+    """Candidate values near ``value``: scaled, incremented and the extremes."""
+    raw = {1, limit, value}
+    for scale in (0.5, 0.75, 1.25, 1.5, 2.0):
+        raw.add(int(round(value * scale)))
+    for delta in (-2, -1, 1, 2):
+        raw.add(value + delta)
+    divisor_candidates = [d for d in range(max(1, value - 4), value + 5) if d >= 1]
+    raw.update(divisor_candidates)
+    return sorted({min(limit, max(1, v)) for v in raw})
+
+
+def traffic_at_capacity(layer: ConvLayer, on_chip_words: int) -> TrafficBreakdown:
+    """Convenience wrapper: best-found traffic of the dataflow at capacity ``S``."""
+    return choose_tiling(layer, on_chip_words).traffic

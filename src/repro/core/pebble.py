@@ -1,0 +1,347 @@
+"""Red-blue pebble game / S-partition substrate (Section II-C).
+
+The paper's lower-bound derivation uses Hong & Kung's red-blue pebble game in
+its S-partition form.  This module provides a small, executable version of
+that machinery:
+
+* :class:`Dag` -- a computation DAG with input nodes and operation nodes.
+* :func:`build_conv_dag` -- the DAG of Fig. 4 for a (tiny) convolutional
+  layer: inputs, weights, multiplication nodes and add-tree nodes.
+* :class:`PebbleGame` -- executes a schedule of ``load`` / ``compute`` /
+  ``store`` / ``evict`` moves with a bounded number of red pebbles (fast
+  memory slots) and counts the I/O (red<->blue transitions).
+* :func:`greedy_pebble_schedule` -- a simple scheduler that plays the game in
+  topological order with least-recently-used eviction, giving an upper bound
+  on the optimal I/O.
+* :func:`validate_s_partition` -- checks Properties 1-4 of the S-partition
+  definition for an explicit partition.
+* :func:`theorem1_bound` -- ``Q >= S * (P(2S) - 1)`` given a subset count.
+
+These pieces are deliberately small-scale (the DAG of a real layer is huge);
+they exist so the theory the bound rests on is testable code, and so
+property-based tests can confirm that *any* legal execution of a small
+convolution respects Theorem 2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.layer import ConvLayer
+
+
+@dataclass
+class Dag:
+    """A directed acyclic graph describing a computation.
+
+    ``predecessors[node]`` lists the nodes whose values the node consumes.
+    Input nodes have no predecessors.
+    """
+
+    predecessors: dict = field(default_factory=dict)
+
+    def add_input(self, node: str) -> None:
+        """Add an input (source) node."""
+        if node in self.predecessors:
+            raise ValueError(f"node {node!r} already exists")
+        self.predecessors[node] = []
+
+    def add_operation(self, node: str, operands: list) -> None:
+        """Add an operation node depending on ``operands``."""
+        if node in self.predecessors:
+            raise ValueError(f"node {node!r} already exists")
+        for operand in operands:
+            if operand not in self.predecessors:
+                raise ValueError(f"operand {operand!r} not in DAG")
+        self.predecessors[node] = list(operands)
+
+    @property
+    def nodes(self) -> list:
+        return list(self.predecessors)
+
+    @property
+    def input_nodes(self) -> list:
+        return [node for node, preds in self.predecessors.items() if not preds]
+
+    @property
+    def operation_nodes(self) -> list:
+        return [node for node, preds in self.predecessors.items() if preds]
+
+    def successors(self) -> dict:
+        """Map from node to the list of nodes that consume it."""
+        result = {node: [] for node in self.predecessors}
+        for node, preds in self.predecessors.items():
+            for pred in preds:
+                result[pred].append(node)
+        return result
+
+    def output_nodes(self) -> list:
+        """Nodes with no successors (the results of the computation)."""
+        succ = self.successors()
+        return [node for node, following in succ.items() if not following]
+
+    def topological_order(self) -> list:
+        """Nodes in a valid execution order (inputs first)."""
+        order = []
+        visited = set()
+
+        def visit(node: str) -> None:
+            if node in visited:
+                return
+            visited.add(node)
+            for pred in self.predecessors[node]:
+                visit(pred)
+            order.append(node)
+
+        for node in self.predecessors:
+            visit(node)
+        return order
+
+
+def build_conv_dag(layer: ConvLayer) -> Dag:
+    """Build the three-level DAG of Fig. 4 for a small convolutional layer.
+
+    Node names: ``in/<i>/<c>/<y>/<x>``, ``w/<o>/<c>/<ky>/<kx>``,
+    ``mul/...`` and ``add/...``.  Only practical for tiny layers -- the node
+    count is ``#inputs + #weights + 2 * #MACs``.
+    """
+    if layer.macs > 200_000:
+        raise ValueError("layer too large to expand into an explicit DAG")
+    if layer.padding != 0:
+        raise ValueError("explicit DAG construction assumes zero padding")
+    dag = Dag()
+    for image in range(layer.batch):
+        for channel in range(layer.in_channels):
+            for row in range(layer.in_height):
+                for col in range(layer.in_width):
+                    dag.add_input(f"in/{image}/{channel}/{row}/{col}")
+    for out_c in range(layer.out_channels):
+        for channel in range(layer.in_channels):
+            for ky in range(layer.kernel_height):
+                for kx in range(layer.kernel_width):
+                    dag.add_input(f"w/{out_c}/{channel}/{ky}/{kx}")
+
+    stride = layer.stride
+    for image in range(layer.batch):
+        for out_c in range(layer.out_channels):
+            for oy in range(layer.out_height):
+                for ox in range(layer.out_width):
+                    previous = None
+                    for channel in range(layer.in_channels):
+                        for ky in range(layer.kernel_height):
+                            for kx in range(layer.kernel_width):
+                                input_node = (
+                                    f"in/{image}/{channel}/{oy * stride + ky}/{ox * stride + kx}"
+                                )
+                                weight_node = f"w/{out_c}/{channel}/{ky}/{kx}"
+                                mul_node = (
+                                    f"mul/{image}/{out_c}/{oy}/{ox}/{channel}/{ky}/{kx}"
+                                )
+                                dag.add_operation(mul_node, [input_node, weight_node])
+                                add_node = (
+                                    f"add/{image}/{out_c}/{oy}/{ox}/{channel}/{ky}/{kx}"
+                                )
+                                operands = [mul_node]
+                                if previous is not None:
+                                    operands.append(previous)
+                                dag.add_operation(add_node, operands)
+                                previous = add_node
+    return dag
+
+
+@dataclass(frozen=True)
+class PebbleResult:
+    """Outcome of playing the red-blue pebble game to completion."""
+
+    loads: int
+    stores: int
+    computes: int
+
+    @property
+    def io(self) -> int:
+        """Total I/O between fast and slow memory (the game's cost)."""
+        return self.loads + self.stores
+
+
+class PebbleGame:
+    """Red-blue pebble game executor with ``fast_slots`` red pebbles.
+
+    Moves:
+      * ``load(node)`` -- copy a blue-pebbled value into fast memory.
+      * ``compute(node)`` -- place a red pebble on an operation node whose
+        predecessors all hold red pebbles.
+      * ``store(node)`` -- copy a red-pebbled value to slow memory.
+      * ``evict(node)`` -- drop a red pebble (the value must already be blue
+        if it is ever needed again -- this is *not* checked here; the greedy
+        scheduler only evicts safely).
+    """
+
+    def __init__(self, dag: Dag, fast_slots: int):
+        if fast_slots < 2:
+            raise ValueError("the game needs at least two red pebbles")
+        self.dag = dag
+        self.fast_slots = fast_slots
+        self.red = OrderedDict()
+        self.blue = set(dag.input_nodes)
+        self.loads = 0
+        self.stores = 0
+        self.computes = 0
+
+    def _touch(self, node: str) -> None:
+        self.red.move_to_end(node)
+
+    def _ensure_space(self) -> None:
+        if len(self.red) > self.fast_slots:
+            raise RuntimeError("fast memory over capacity")
+
+    def load(self, node: str) -> None:
+        if node not in self.blue:
+            raise RuntimeError(f"cannot load {node!r}: no blue pebble")
+        if node in self.red:
+            self._touch(node)
+            return
+        self.red[node] = True
+        self.loads += 1
+        self._ensure_space()
+
+    def compute(self, node: str) -> None:
+        preds = self.dag.predecessors[node]
+        if not preds:
+            raise RuntimeError(f"{node!r} is an input; load it instead")
+        for pred in preds:
+            if pred not in self.red:
+                raise RuntimeError(f"cannot compute {node!r}: {pred!r} not in fast memory")
+        self.red[node] = True
+        self.computes += 1
+        self._ensure_space()
+
+    def store(self, node: str) -> None:
+        if node not in self.red:
+            raise RuntimeError(f"cannot store {node!r}: not in fast memory")
+        self.blue.add(node)
+        self.stores += 1
+
+    def evict(self, node: str) -> None:
+        if node not in self.red:
+            raise RuntimeError(f"cannot evict {node!r}: not in fast memory")
+        del self.red[node]
+
+    def result(self) -> PebbleResult:
+        return PebbleResult(loads=self.loads, stores=self.stores, computes=self.computes)
+
+
+def greedy_pebble_schedule(dag: Dag, fast_slots: int) -> PebbleResult:
+    """Play the game in topological order with LRU eviction.
+
+    Every operation node is computed exactly once; values evicted while still
+    needed are stored first so they can be reloaded.  The resulting I/O is an
+    upper bound on the optimum and (by Theorem 1) at least the lower bound.
+    """
+    game = PebbleGame(dag, fast_slots)
+    outputs = set(dag.output_nodes())
+    remaining_uses = {node: len(succ) for node, succ in dag.successors().items()}
+
+    def make_room(needed: int) -> None:
+        while len(game.red) + needed > fast_slots:
+            victim = None
+            for candidate in game.red:
+                victim = candidate
+                break
+            if victim is None:
+                raise RuntimeError("cannot make room in fast memory")
+            if remaining_uses.get(victim, 0) > 0 and victim not in game.blue:
+                game.store(victim)
+            game.evict(victim)
+
+    for node in dag.topological_order():
+        preds = dag.predecessors[node]
+        if not preds:
+            continue
+        missing = [pred for pred in preds if pred not in game.red]
+        make_room(len(missing) + 1)
+        for pred in missing:
+            game.load(pred)
+        game.compute(node)
+        for pred in preds:
+            remaining_uses[pred] -= 1
+            if remaining_uses[pred] == 0 and pred not in outputs and pred in game.red:
+                game.evict(pred)
+        if node in outputs:
+            game.store(node)
+            game.evict(node)
+    return game.result()
+
+
+def validate_s_partition(dag: Dag, partition: list, capacity: int) -> bool:
+    """Check Properties 1-4 of an S-partition (Section II-C).
+
+    ``partition`` is a list of sets of operation-node names.  Returns ``True``
+    when the partition is a valid S-partition for fast memory ``capacity``.
+    """
+    operations = set(dag.operation_nodes)
+    union = set()
+    for subset in partition:
+        if union & subset:
+            return False  # Property 1: disjoint
+        union |= subset
+    if union != operations:
+        return False  # Property 1: cover all operation nodes
+
+    index_of = {}
+    for index, subset in enumerate(partition):
+        for node in subset:
+            index_of[node] = index
+
+    # Property 2: no cyclic dependency among subsets.
+    edges = set()
+    for node in operations:
+        for pred in dag.predecessors[node]:
+            if pred in index_of and index_of[pred] != index_of[node]:
+                edges.add((index_of[pred], index_of[node]))
+    if _has_cycle(len(partition), edges):
+        return False
+
+    successors = dag.successors()
+    for subset in partition:
+        # Property 4: output set no larger than capacity.
+        output_set = {
+            node for node in subset if not any(succ in subset for succ in successors[node])
+        }
+        if len(output_set) > capacity:
+            return False
+        # Property 3: a dominator set of size <= capacity exists.  We use the
+        # standard witness: the subset's "boundary" -- values produced outside
+        # the subset (or inputs) that are directly consumed inside it.
+        boundary = set()
+        for node in subset:
+            for pred in dag.predecessors[node]:
+                if pred not in subset:
+                    boundary.add(pred)
+        if len(boundary) > capacity:
+            return False
+    return True
+
+
+def _has_cycle(count: int, edges: set) -> bool:
+    adjacency = {index: [] for index in range(count)}
+    for src, dst in edges:
+        adjacency[src].append(dst)
+    state = {index: 0 for index in range(count)}  # 0=unvisited, 1=active, 2=done
+
+    def visit(node: int) -> bool:
+        state[node] = 1
+        for nxt in adjacency[node]:
+            if state[nxt] == 1:
+                return True
+            if state[nxt] == 0 and visit(nxt):
+                return True
+        state[node] = 2
+        return False
+
+    return any(state[index] == 0 and visit(index) for index in range(count))
+
+
+def theorem1_bound(fast_slots: int, min_subsets_2s: int) -> int:
+    """Theorem 1: ``Q >= S * (P(2S) - 1)``."""
+    return fast_slots * max(0, min_subsets_2s - 1)

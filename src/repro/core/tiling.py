@@ -1,0 +1,141 @@
+"""Tiling abstraction for the proposed dataflow.
+
+A tiling is the quadruple ``{b, z, y, x}`` of Fig. 7 plus the channel step
+``k``.  A tiling partitions the output tensor into blocks of ``b`` images,
+``z`` output channels and ``y x x`` output positions; each block is computed
+by ``ceil(Ci / k)`` iterations that each load ``k`` input channels' worth of
+inputs and weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layer import ConvLayer, ceil_div
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """Tiling sizes ``{b, z, y, x, k}`` for the output-block dataflow.
+
+    ``b``: images per block, ``z``: output channels per block, ``y``/``x``:
+    output rows/columns per block, ``k``: input channels loaded per iteration.
+    """
+
+    b: int
+    z: int
+    y: int
+    x: int
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("b", "z", "y", "x", "k"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"tiling dimension {field_name} must be >= 1, got {value}")
+
+    # --------------------------------------------------------------- geometry
+
+    def clip(self, layer: ConvLayer) -> "Tiling":
+        """Clip the tiling to the layer's dimensions (a tile never exceeds the
+        tensor it tiles)."""
+        return Tiling(
+            b=min(self.b, layer.batch),
+            z=min(self.z, layer.out_channels),
+            y=min(self.y, layer.out_height),
+            x=min(self.x, layer.out_width),
+            k=min(self.k, layer.in_channels),
+        )
+
+    def output_block_size(self) -> int:
+        """Output words (Psums) per block: ``u * z`` with ``u = b*x*y``."""
+        return self.b * self.x * self.y * self.z
+
+    def u(self) -> int:
+        """The ``u = b*x*y`` side of the output block in the MM view."""
+        return self.b * self.x * self.y
+
+    def input_rows(self, layer: ConvLayer) -> int:
+        """``y' = (y-1)*D + Hk`` -- input rows needed for ``y`` output rows."""
+        return (self.y - 1) * layer.stride + layer.kernel_height
+
+    def input_cols(self, layer: ConvLayer) -> int:
+        """``x' = (x-1)*D + Wk`` -- input columns needed for ``x`` output columns."""
+        return (self.x - 1) * layer.stride + layer.kernel_width
+
+    def input_patch(self, layer: ConvLayer) -> int:
+        """Input words per image per input channel needed for one block."""
+        return self.input_rows(layer) * self.input_cols(layer)
+
+    # ---------------------------------------------------------------- footprints
+
+    def iteration_input_words(self, layer: ConvLayer) -> int:
+        """Input words loaded per iteration (``b * x' * y' * k``)."""
+        return self.b * self.input_patch(layer) * self.k
+
+    def iteration_weight_words(self, layer: ConvLayer) -> int:
+        """Weight words loaded per iteration (``z * k * Wk * Hk``)."""
+        return self.z * self.k * layer.kernel_height * layer.kernel_width
+
+    def staged_input_words(self, layer: ConvLayer) -> int:
+        """Input words that must be staged on chip at once (``b * x' * y' * k``).
+
+        The IGBuf holds one iteration's inputs: one column of the reshaped
+        input sub-matrix of Fig. 9.
+        """
+        return self.iteration_input_words(layer)
+
+    def staged_weight_words(self) -> int:
+        """Weight words that must be staged on chip at once (``z * k``).
+
+        Weights are consumed row by row from the reshaped weight sub-matrix
+        (Fig. 9): one pass needs only the ``z`` weights of a single kernel
+        position, so the WGBuf stages ``z * k`` words, not a whole iteration.
+        """
+        return self.z * self.k
+
+    def on_chip_footprint(self, layer: ConvLayer) -> int:
+        """Effective on-chip words required by this tiling.
+
+        The block's Psums stay resident for the whole block; on top of that
+        only the currently staged inputs (one iteration) and weights (one
+        pass) occupy on-chip memory -- this matches the effective-memory
+        accounting of Eq. (4)/(15), where Psums take nearly all of ``S``.
+        """
+        return (
+            self.output_block_size()
+            + self.staged_input_words(layer)
+            + self.staged_weight_words()
+        )
+
+    # ---------------------------------------------------------------- block counts
+
+    def block_counts(self, layer: ConvLayer) -> tuple:
+        """Number of blocks along (batch, out-channel, row, column)."""
+        return (
+            ceil_div(layer.batch, self.b),
+            ceil_div(layer.out_channels, self.z),
+            ceil_div(layer.out_height, self.y),
+            ceil_div(layer.out_width, self.x),
+        )
+
+    def num_blocks(self, layer: ConvLayer) -> int:
+        """Total number of output blocks."""
+        nb, nz, ny, nx = self.block_counts(layer)
+        return nb * nz * ny * nx
+
+    def iterations_per_block(self, layer: ConvLayer) -> int:
+        """Channel iterations per block (``ceil(Ci / k)``)."""
+        return ceil_div(layer.in_channels, self.k)
+
+    def balance_ratio(self, layer: ConvLayer) -> float:
+        """How close the tiling is to the paper's ``b*x*y = R*z`` condition.
+
+        Returns ``u / (R * z)``; 1.0 means perfectly balanced input and weight
+        loading volumes.
+        """
+        return self.u() / (layer.window_reuse * self.z)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return f"Tiling(b={self.b}, z={self.z}, y={self.y}, x={self.x}, k={self.k})"

@@ -1,0 +1,76 @@
+"""Traffic bookkeeping shared by every dataflow model.
+
+All dataflow models in this repository report DRAM traffic as a
+:class:`TrafficBreakdown`: how many words of inputs / weights are read, and
+how many words of outputs (or partial sums) are read and written.  Words are
+16-bit entries, matching the paper's accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_WORD = 2
+"""The paper uses 16-bit fixed-point arithmetic throughout."""
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """DRAM traffic of one layer under one dataflow, in words."""
+
+    input_reads: float = 0.0
+    weight_reads: float = 0.0
+    output_reads: float = 0.0
+    output_writes: float = 0.0
+
+    @property
+    def reads(self) -> float:
+        """Total words read from DRAM."""
+        return self.input_reads + self.weight_reads + self.output_reads
+
+    @property
+    def writes(self) -> float:
+        """Total words written to DRAM."""
+        return self.output_writes
+
+    @property
+    def total(self) -> float:
+        """Total DRAM traffic in words."""
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> float:
+        """Total DRAM traffic in bytes (16-bit words)."""
+        return self.total * BYTES_PER_WORD
+
+    @property
+    def output_traffic(self) -> float:
+        """Outputs / partial sums moved in either direction."""
+        return self.output_reads + self.output_writes
+
+    def __add__(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        if not isinstance(other, TrafficBreakdown):
+            return NotImplemented
+        return TrafficBreakdown(
+            input_reads=self.input_reads + other.input_reads,
+            weight_reads=self.weight_reads + other.weight_reads,
+            output_reads=self.output_reads + other.output_reads,
+            output_writes=self.output_writes + other.output_writes,
+        )
+
+    def scaled(self, factor: float) -> "TrafficBreakdown":
+        """Return the breakdown scaled by ``factor`` (used for compression models)."""
+        return TrafficBreakdown(
+            input_reads=self.input_reads * factor,
+            weight_reads=self.weight_reads * factor,
+            output_reads=self.output_reads * factor,
+            output_writes=self.output_writes * factor,
+        )
+
+
+def sum_traffic(parts: list) -> TrafficBreakdown:
+    """Sum a list of :class:`TrafficBreakdown` (e.g. over a network's layers)."""
+    total = TrafficBreakdown()
+    for part in parts:
+        total = total + part
+    return total

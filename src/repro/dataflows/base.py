@@ -1,0 +1,102 @@
+"""Common interface for all dataflow traffic models.
+
+A *dataflow* in this repository is an analytic model of the DRAM traffic of a
+convolutional layer for a fixed loop order / stationarity choice, with tiling
+sizes as free parameters.  Concrete dataflows implement two methods:
+
+* ``tiling_space(layer, capacity)`` -- yield candidate tilings (dataflow-
+  specific parameter dictionaries) that fit in ``capacity`` words;
+* ``traffic(layer, capacity, tiling)`` -- evaluate the DRAM traffic of one
+  candidate.
+
+The shared :meth:`Dataflow.search` then performs the exhaustive search over
+the candidate tilings (the paper does the same to remove the impact of badly
+chosen tile sizes, Section VI-A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.layer import ConvLayer
+from repro.core.traffic import TrafficBreakdown, sum_traffic
+
+
+@dataclass(frozen=True)
+class DataflowResult:
+    """Best tiling found for one layer and the traffic it produces."""
+
+    dataflow: str
+    layer_name: str
+    capacity_words: int
+    tiling: dict
+    traffic: TrafficBreakdown
+
+    @property
+    def total(self) -> float:
+        return self.traffic.total
+
+
+class Dataflow(ABC):
+    """Base class for analytic dataflow traffic models."""
+
+    #: Short name used in figures and the registry (e.g. ``"OutR-A"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def tiling_space(self, layer: ConvLayer, capacity_words: int):
+        """Yield candidate tiling dictionaries that fit in ``capacity_words``."""
+
+    @abstractmethod
+    def traffic(self, layer: ConvLayer, capacity_words: int, tiling: dict) -> TrafficBreakdown:
+        """DRAM traffic (words) of ``layer`` under one candidate tiling."""
+
+    def search(self, layer: ConvLayer, capacity_words: int) -> DataflowResult:
+        """Exhaustively search the tiling space and return the best result."""
+        best_tiling = None
+        best_traffic = None
+        for tiling in self.tiling_space(layer, capacity_words):
+            candidate = self.traffic(layer, capacity_words, tiling)
+            if best_traffic is None or candidate.total < best_traffic.total:
+                best_traffic = candidate
+                best_tiling = tiling
+        if best_traffic is None:
+            raise ValueError(
+                f"{self.name}: no tiling of layer {layer.name!r} fits in "
+                f"{capacity_words} on-chip words"
+            )
+        return DataflowResult(
+            dataflow=self.name,
+            layer_name=layer.name,
+            capacity_words=capacity_words,
+            tiling=best_tiling,
+            traffic=best_traffic,
+        )
+
+    def network_traffic(self, layers: list, capacity_words: int) -> TrafficBreakdown:
+        """Sum of best-tiling traffic over a list of layers."""
+        return sum_traffic([self.search(layer, capacity_words).traffic for layer in layers])
+
+    def __repr__(self) -> str:
+        return f"<Dataflow {self.name}>"
+
+
+def candidate_extents(extent: int, max_candidates: int = 48) -> list:
+    """Candidate tile sizes along one dimension.
+
+    Includes 1, the full extent, all powers of two, and an even coverage of
+    divisor-like values so the exhaustive searches stay fast while covering
+    the space densely enough for the traffic functions (which are smooth in
+    the tile sizes).
+    """
+    if extent <= max_candidates:
+        return list(range(1, extent + 1))
+    values = {1, extent}
+    size = 1
+    while size < extent:
+        values.add(size)
+        size *= 2
+    step = max(1, extent // max_candidates)
+    values.update(range(step, extent + 1, step))
+    return sorted(values)

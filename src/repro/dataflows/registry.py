@@ -1,0 +1,39 @@
+"""Registry of all dataflow models used in the paper's comparisons."""
+
+from __future__ import annotations
+
+from repro.dataflows.base import Dataflow
+from repro.dataflows.inr import InRA, InRB, InRC
+from repro.dataflows.ours import OptimalDataflow
+from repro.dataflows.outr import OutRA, OutRB
+from repro.dataflows.wtr import WtRA, WtRB
+
+#: The Fig. 12 baselines, in the order the paper lists them.
+BASELINE_DATAFLOWS = (
+    OutRA(),
+    OutRB(),
+    WtRA(),
+    WtRB(),
+    InRA(),
+    InRB(),
+    InRC(),
+)
+
+#: Every dataflow compared in Fig. 13, including the paper's.
+ALL_DATAFLOWS = (OptimalDataflow(),) + BASELINE_DATAFLOWS
+
+_BY_NAME = {dataflow.name: dataflow for dataflow in ALL_DATAFLOWS}
+
+
+def get_dataflow(name: str) -> Dataflow:
+    """Look up a dataflow by its figure name (e.g. ``"InR-A"`` or ``"Ours"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown dataflow {name!r}; known dataflows: {known}") from None
+
+
+def dataflow_names() -> list:
+    """Names of all registered dataflows, ``Ours`` first."""
+    return [dataflow.name for dataflow in ALL_DATAFLOWS]

@@ -1,0 +1,57 @@
+"""Cross-dataflow search: the paper's "found minimum" curve.
+
+For every layer, run every dataflow's exhaustive tiling search and keep the
+cheapest result.  The paper reports that this found minimum is only ~4.5 %
+below the proposed dataflow on average, so selecting among candidate
+dataflows (the FlexFlow / SmartShuttle approach) buys very little once the
+optimal tiling rule is known.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+from repro.core.traffic import TrafficBreakdown, sum_traffic
+from repro.dataflows.base import DataflowResult
+from repro.dataflows.registry import ALL_DATAFLOWS
+
+
+def found_minimum(layer: ConvLayer, capacity_words: int, dataflows=None) -> DataflowResult:
+    """Best (dataflow, tiling) pair for one layer under ``capacity_words``."""
+    if dataflows is None:
+        dataflows = ALL_DATAFLOWS
+    best = None
+    for dataflow in dataflows:
+        try:
+            result = dataflow.search(layer, capacity_words)
+        except ValueError:
+            # This dataflow has no tiling that fits (e.g. WtR-B with a huge
+            # kernel and a tiny buffer); it simply does not compete.
+            continue
+        if best is None or result.total < best.total:
+            best = result
+    if best is None:
+        raise ValueError(
+            f"no dataflow can execute layer {layer.name!r} within {capacity_words} words"
+        )
+    return best
+
+
+def network_traffic(layers: list, capacity_words: int, dataflow=None) -> TrafficBreakdown:
+    """Network-level DRAM traffic.
+
+    With ``dataflow=None`` the per-layer found minimum is used (the best
+    dataflow may differ layer to layer); otherwise the given dataflow is used
+    for every layer.
+    """
+    per_layer = []
+    for layer in layers:
+        if dataflow is None:
+            per_layer.append(found_minimum(layer, capacity_words).traffic)
+        else:
+            per_layer.append(dataflow.search(layer, capacity_words).traffic)
+    return sum_traffic(per_layer)
+
+
+def per_layer_results(layers: list, capacity_words: int, dataflow) -> list:
+    """Per-layer :class:`DataflowResult` list for one dataflow."""
+    return [dataflow.search(layer, capacity_words) for layer in layers]

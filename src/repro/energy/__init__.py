@@ -1,0 +1,19 @@
+"""Energy models: per-operation energies (Table II) and the DRAM model."""
+
+from repro.energy.model import (
+    OPERATION_ENERGY,
+    EnergyBreakdown,
+    EnergyModel,
+    lreg_access_energy_pj,
+    sram_access_energy_pj,
+)
+from repro.energy.dram import DramModel
+
+__all__ = [
+    "OPERATION_ENERGY",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "lreg_access_energy_pj",
+    "sram_access_energy_pj",
+    "DramModel",
+]

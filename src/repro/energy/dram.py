@@ -1,0 +1,44 @@
+"""Off-chip DRAM model.
+
+The paper evaluates a 2 GB DDR3 device with CACTI: 427.9 pJ per (16-bit)
+access, 6.4 GB/s peak bandwidth, 100 MHz DRAM clock against a 500 MHz core
+clock.  This module is the stand-in for that CACTI output: it provides the
+same three quantities (access energy, bandwidth, access latency) to the rest
+of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.traffic import BYTES_PER_WORD
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Energy / bandwidth / latency model of the off-chip DRAM."""
+
+    energy_per_access_pj: float = 427.9
+    peak_bandwidth_bytes_per_s: float = 6.4e9
+    access_latency_s: float = 50e-9
+    capacity_bytes: int = 2 * 1024 ** 3
+
+    def access_energy_pj(self, words: float) -> float:
+        """Energy (pJ) to move ``words`` 16-bit words across the DRAM interface."""
+        if words < 0:
+            raise ValueError("word count must be non-negative")
+        return words * self.energy_per_access_pj
+
+    def transfer_time_s(self, words: float) -> float:
+        """Best-case streaming time (seconds) for ``words`` words."""
+        if words < 0:
+            raise ValueError("word count must be non-negative")
+        return self.access_latency_s + words * BYTES_PER_WORD / self.peak_bandwidth_bytes_per_s
+
+    def transfer_cycles(self, words: float, clock_hz: float) -> float:
+        """Streaming time expressed in core clock cycles."""
+        return self.transfer_time_s(words) * clock_hz
+
+    def bytes_per_core_cycle(self, clock_hz: float) -> float:
+        """Sustained DRAM bytes deliverable per core cycle."""
+        return self.peak_bandwidth_bytes_per_s / clock_hz

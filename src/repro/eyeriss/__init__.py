@@ -1,0 +1,21 @@
+"""Eyeriss baseline model (the paper's comparison point)."""
+
+from repro.eyeriss.model import (
+    EyerissConfig,
+    EyerissModel,
+    EYERISS_CONFIG,
+    VGG16_INPUT_COMPRESSION,
+    EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC,
+    EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE,
+    EYERISS_REPORTED_VGG16_DRAM_MB,
+)
+
+__all__ = [
+    "EyerissConfig",
+    "EyerissModel",
+    "EYERISS_CONFIG",
+    "VGG16_INPUT_COMPRESSION",
+    "EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC",
+    "EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE",
+    "EYERISS_REPORTED_VGG16_DRAM_MB",
+]

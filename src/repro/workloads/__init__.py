@@ -1,0 +1,16 @@
+"""Workload definitions: the paper's VGGNet-16 plus other common CNNs."""
+
+from repro.workloads.vgg import vgg16_conv_layers, vgg16_fc_layers
+from repro.workloads.alexnet import alexnet_conv_layers
+from repro.workloads.resnet import resnet18_conv_layers
+from repro.workloads.generator import random_layer, random_network, small_test_layers
+
+__all__ = [
+    "vgg16_conv_layers",
+    "vgg16_fc_layers",
+    "alexnet_conv_layers",
+    "resnet18_conv_layers",
+    "random_layer",
+    "random_network",
+    "small_test_layers",
+]

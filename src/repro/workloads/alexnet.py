@@ -1,0 +1,21 @@
+"""AlexNet convolutional layer dimensions (Krizhevsky et al., 2012).
+
+Used as an additional workload with more diverse kernel sizes and strides
+than VGG (11x11 stride 4, 5x5, 3x3), which exercises the sliding-window reuse
+factor ``R`` over a wider range.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+
+def alexnet_conv_layers(batch: int = 1) -> list:
+    """The five convolutional layers of AlexNet."""
+    return [
+        ConvLayer("conv1", batch, 3, 227, 227, 96, 11, 11, stride=4, padding=0),
+        ConvLayer("conv2", batch, 96, 27, 27, 256, 5, 5, stride=1, padding=2),
+        ConvLayer("conv3", batch, 256, 13, 13, 384, 3, 3, stride=1, padding=1),
+        ConvLayer("conv4", batch, 384, 13, 13, 384, 3, 3, stride=1, padding=1),
+        ConvLayer("conv5", batch, 384, 13, 13, 256, 3, 3, stride=1, padding=1),
+    ]

@@ -1,0 +1,58 @@
+"""Synthetic workload generation for tests and stress experiments."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.layer import ConvLayer
+
+
+def random_layer(
+    rng: random.Random,
+    name: str = "random",
+    max_batch: int = 4,
+    max_channels: int = 64,
+    max_spatial: int = 32,
+    max_kernel: int = 5,
+) -> ConvLayer:
+    """Draw a random but valid convolutional layer from ``rng``."""
+    kernel_height = rng.randint(1, max_kernel)
+    kernel_width = rng.randint(1, max_kernel)
+    stride = rng.randint(1, 2)
+    padding = rng.randint(0, min(kernel_height, kernel_width) // 2)
+    in_height = rng.randint(kernel_height, max_spatial)
+    in_width = rng.randint(kernel_width, max_spatial)
+    return ConvLayer(
+        name=name,
+        batch=rng.randint(1, max_batch),
+        in_channels=rng.randint(1, max_channels),
+        in_height=in_height,
+        in_width=in_width,
+        out_channels=rng.randint(1, max_channels),
+        kernel_height=kernel_height,
+        kernel_width=kernel_width,
+        stride=stride,
+        padding=padding,
+    )
+
+
+def random_network(seed: int, depth: int = 5, **kwargs) -> list:
+    """A reproducible list of random layers."""
+    rng = random.Random(seed)
+    return [random_layer(rng, name=f"rand{i}", **kwargs) for i in range(depth)]
+
+
+def small_test_layers() -> list:
+    """Hand-picked small layers used by the functional simulator tests.
+
+    Kept small enough that the functional simulator (which moves real numbers
+    through instrumented memories) runs in well under a second per layer.
+    """
+    return [
+        ConvLayer("tiny_3x3", 1, 2, 8, 8, 4, 3, 3, stride=1, padding=0),
+        ConvLayer("tiny_pad", 1, 3, 7, 9, 5, 3, 3, stride=1, padding=1),
+        ConvLayer("tiny_stride2", 2, 2, 9, 9, 3, 3, 3, stride=2, padding=0),
+        ConvLayer("tiny_1x1", 1, 6, 6, 6, 8, 1, 1, stride=1, padding=0),
+        ConvLayer("tiny_5x5", 1, 2, 12, 12, 2, 5, 5, stride=1, padding=2),
+        ConvLayer("tiny_rect", 2, 3, 6, 10, 4, 3, 2, stride=1, padding=0),
+    ]

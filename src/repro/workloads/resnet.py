@@ -1,0 +1,41 @@
+"""ResNet-18 convolutional layer dimensions (He et al., 2016).
+
+Included as a modern workload with strided convolutions and 1x1 projection
+shortcuts (for which ``R = 1``, i.e. the pure matrix-multiplication corner of
+the bound).
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+
+def resnet18_conv_layers(batch: int = 1) -> list:
+    """All convolutional layers of ResNet-18 (including projection shortcuts)."""
+    layers = [ConvLayer("conv1", batch, 3, 224, 224, 64, 7, 7, stride=2, padding=3)]
+
+    def stage(name: str, in_channels: int, out_channels: int, size: int, downsample: bool) -> list:
+        stride = 2 if downsample else 1
+        in_size = size * stride
+        result = [
+            ConvLayer(f"{name}_block1_conv1", batch, in_channels, in_size, in_size,
+                      out_channels, 3, 3, stride=stride, padding=1),
+            ConvLayer(f"{name}_block1_conv2", batch, out_channels, size, size,
+                      out_channels, 3, 3, stride=1, padding=1),
+            ConvLayer(f"{name}_block2_conv1", batch, out_channels, size, size,
+                      out_channels, 3, 3, stride=1, padding=1),
+            ConvLayer(f"{name}_block2_conv2", batch, out_channels, size, size,
+                      out_channels, 3, 3, stride=1, padding=1),
+        ]
+        if downsample:
+            result.append(
+                ConvLayer(f"{name}_shortcut", batch, in_channels, in_size, in_size,
+                          out_channels, 1, 1, stride=2, padding=0)
+            )
+        return result
+
+    layers += stage("layer1", 64, 64, 56, downsample=False)
+    layers += stage("layer2", 64, 128, 28, downsample=True)
+    layers += stage("layer3", 128, 256, 14, downsample=True)
+    layers += stage("layer4", 256, 512, 7, downsample=True)
+    return layers

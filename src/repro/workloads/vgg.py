@@ -1,0 +1,75 @@
+"""VGGNet-16 layer dimensions.
+
+The paper's evaluation workload is VGGNet-16 with batch size 3 (the same
+workload Eyeriss reports).  The 13 convolutional layers all use 3x3 kernels
+with unit stride and padding 1; the spatial size halves after every pooling
+stage.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+#: (in_channels, spatial size, out_channels) for the 13 conv layers.
+_VGG16_CONV_SHAPES = (
+    ("conv1_1", 3, 224, 64),
+    ("conv1_2", 64, 224, 64),
+    ("conv2_1", 64, 112, 128),
+    ("conv2_2", 128, 112, 128),
+    ("conv3_1", 128, 56, 256),
+    ("conv3_2", 256, 56, 256),
+    ("conv3_3", 256, 56, 256),
+    ("conv4_1", 256, 28, 512),
+    ("conv4_2", 512, 28, 512),
+    ("conv4_3", 512, 28, 512),
+    ("conv5_1", 512, 14, 512),
+    ("conv5_2", 512, 14, 512),
+    ("conv5_3", 512, 14, 512),
+)
+
+#: (in_features, out_features) of the three fully-connected layers.
+_VGG16_FC_SHAPES = (
+    ("fc6", 25088, 4096),
+    ("fc7", 4096, 4096),
+    ("fc8", 4096, 1000),
+)
+
+PAPER_BATCH_SIZE = 3
+"""The batch size used throughout the paper's evaluation."""
+
+
+def vgg16_conv_layers(batch: int = PAPER_BATCH_SIZE) -> list:
+    """The 13 convolutional layers of VGGNet-16 as :class:`ConvLayer` objects."""
+    layers = []
+    for name, in_channels, size, out_channels in _VGG16_CONV_SHAPES:
+        layers.append(
+            ConvLayer(
+                name=name,
+                batch=batch,
+                in_channels=in_channels,
+                in_height=size,
+                in_width=size,
+                out_channels=out_channels,
+                kernel_height=3,
+                kernel_width=3,
+                stride=1,
+                padding=1,
+            )
+        )
+    return layers
+
+
+def vgg16_fc_layers(batch: int = PAPER_BATCH_SIZE) -> list:
+    """The three fully-connected layers of VGGNet-16 (as 1x1 convolutions)."""
+    return [
+        ConvLayer.from_fc(name, batch, in_features, out_features)
+        for name, in_features, out_features in _VGG16_FC_SHAPES
+    ]
+
+
+def vgg16_layer(index: int, batch: int = PAPER_BATCH_SIZE) -> ConvLayer:
+    """Convolutional layer by 1-based index (the paper numbers layers 1-13)."""
+    layers = vgg16_conv_layers(batch)
+    if not 1 <= index <= len(layers):
+        raise IndexError(f"VGG-16 has {len(layers)} conv layers; got index {index}")
+    return layers[index - 1]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.arch.config import PAPER_IMPLEMENTATIONS  # noqa: E402
+from repro.core.layer import ConvLayer  # noqa: E402
+from repro.workloads.vgg import vgg16_conv_layers  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def vgg_layers():
+    """The paper's workload: VGG-16 convolutional layers at batch 3."""
+    return vgg16_conv_layers()
+
+@pytest.fixture(scope="session")
+def vgg_layer_mid(vgg_layers):
+    """A representative mid-network layer (conv3_2: 256 channels, 56x56)."""
+    return vgg_layers[5]
+
+
+@pytest.fixture
+def small_layer():
+    """A small layer usable by the functional simulator and DAG tools."""
+    return ConvLayer("small", batch=1, in_channels=3, in_height=10, in_width=10,
+                     out_channels=4, kernel_height=3, kernel_width=3, stride=1, padding=0)
+
+
+@pytest.fixture
+def padded_layer():
+    """A small layer with padding and a rectangular input."""
+    return ConvLayer("padded", batch=2, in_channels=2, in_height=9, in_width=7,
+                     out_channels=3, kernel_height=3, kernel_width=3, stride=1, padding=1)
+
+
+@pytest.fixture
+def strided_layer():
+    """A small layer with stride 2 (R < Wk*Hk)."""
+    return ConvLayer("strided", batch=1, in_channels=2, in_height=11, in_width=11,
+                     out_channels=3, kernel_height=3, kernel_width=3, stride=2, padding=0)
+
+
+@pytest.fixture(scope="session")
+def impl1():
+    """Implementation 1 of Table I (16x16 PEs, 66.5 KB effective memory)."""
+    return PAPER_IMPLEMENTATIONS[0]
+
+
+@pytest.fixture(scope="session")
+def capacity_66k():
+    """66.5 KB of effective on-chip memory, in 16-bit words."""
+    return int(66.5 * 1024) // 2

@@ -1,0 +1,60 @@
+"""Tests for the ablation drivers (design-choice justifications)."""
+
+import pytest
+
+from repro.analysis.ablation import (
+    balance_ablation,
+    channel_step_ablation,
+    memory_split_ablation,
+    psum_location_ablation,
+)
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return vgg16_conv_layers()[5]  # conv3_2
+
+
+@pytest.fixture(scope="module")
+def subset_layers():
+    layers = vgg16_conv_layers()
+    return [layers[3], layers[8]]
+
+
+class TestChannelStepAblation:
+    def test_k_equal_one_is_best(self, layer):
+        rows = channel_step_ablation(layer, steps=(1, 4, 16))
+        totals = {row["k"]: row["dram_words"] for row in rows if row["dram_words"] is not None}
+        assert totals[1] <= min(totals.values()) * 1.001
+
+    def test_traffic_grows_with_k(self, layer):
+        rows = channel_step_ablation(layer, steps=(1, 8, 32))
+        values = [row["dram_words"] for row in rows if row["dram_words"] is not None]
+        assert values == sorted(values)
+
+
+class TestBalanceAblation:
+    def test_balanced_ratio_is_best(self, layer):
+        rows = balance_ablation(layer, ratios=(0.125, 1.0, 8.0))
+        by_ratio = {row["target_ratio"]: row["dram_words"] for row in rows}
+        assert by_ratio[1.0] <= by_ratio[0.125]
+        assert by_ratio[1.0] <= by_ratio[8.0]
+
+    def test_rows_report_achieved_ratio(self, layer):
+        rows = balance_ablation(layer, ratios=(1.0,))
+        assert 0.2 < rows[0]["achieved_ratio"] < 5.0
+
+
+class TestPsumLocationAblation:
+    def test_gbuf_psums_are_much_worse(self, subset_layers):
+        result = psum_location_ablation(layers=subset_layers)
+        assert result["penalty_factor"] > 5.0
+        assert result["gbuf_accesses_psums_in_gbuf"] > result["gbuf_accesses_psums_in_lregs"]
+
+
+class TestMemorySplitAblation:
+    def test_psum_heavy_split_wins(self, subset_layers):
+        rows = memory_split_ablation(layers=subset_layers, psum_fractions=(0.5, 0.96))
+        by_fraction = {row["psum_fraction"]: row["dram_words"] for row in rows}
+        assert by_fraction[0.96] <= by_fraction[0.5]

@@ -1,0 +1,189 @@
+"""Tests for the experiment drivers (repro.analysis.*).
+
+To keep the test suite fast these use reduced workloads (a subset of VGG
+layers) and small capacity lists; the benchmarks run the full versions.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.energy_report import energy_report
+from repro.analysis.eyeriss_compare import eyeriss_comparison
+from repro.analysis.performance_report import performance_comparison
+from repro.analysis.sweep import (
+    gbuf_dram_ratio,
+    gbuf_per_layer,
+    memory_sweep,
+    per_layer_dram,
+    reg_per_layer,
+    words_to_mb,
+)
+from repro.analysis.utilization_report import utilization_report
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+@pytest.fixture(scope="module")
+def subset_layers():
+    layers = vgg16_conv_layers()
+    return [layers[1], layers[5], layers[9], layers[12]]
+
+
+@pytest.fixture(scope="module")
+def two_impls():
+    return [PAPER_IMPLEMENTATIONS[0], PAPER_IMPLEMENTATIONS[2]]
+
+
+class TestHelpers:
+    def test_words_to_mb(self):
+        assert words_to_mb(1024 * 1024) == pytest.approx(2.0)
+
+
+class TestMemorySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, subset_layers):
+        return memory_sweep(
+            capacities_kib=[32, 128],
+            layers=subset_layers,
+            dataflow_names=["Ours", "InR-C", "WtR-B"],
+        )
+
+    def test_series_present(self, sweep):
+        assert set(sweep["series"]) == {"Lower bound", "Ours", "InR-C", "WtR-B", "Found minimum"}
+        assert sweep["capacities_kib"] == [32, 128]
+        assert all(len(values) == 2 for values in sweep["series"].values())
+
+    def test_lower_bound_decreases_with_memory(self, sweep):
+        bound = sweep["series"]["Lower bound"]
+        assert bound[1] < bound[0]
+
+    def test_ours_above_bound_and_below_baselines(self, sweep):
+        for index in range(2):
+            bound = sweep["series"]["Lower bound"][index]
+            ours = sweep["series"]["Ours"][index]
+            assert ours >= bound * 0.95
+            for name in ("InR-C", "WtR-B"):
+                value = sweep["series"][name][index]
+                if not math.isnan(value):
+                    assert ours <= value * 1.05
+
+    def test_found_minimum_never_above_ours(self, sweep):
+        for index in range(2):
+            assert sweep["series"]["Found minimum"][index] <= sweep["series"]["Ours"][index] + 1e-9
+
+
+class TestPerLayerDram:
+    @pytest.fixture(scope="class")
+    def rows(self, subset_layers):
+        return per_layer_dram(layers=subset_layers, implementations=[PAPER_IMPLEMENTATIONS[0]])
+
+    def test_one_row_per_layer(self, rows, subset_layers):
+        assert len(rows) == len(subset_layers)
+        assert rows[0]["layer"] == subset_layers[0].name
+
+    def test_ours_breakdown_sums(self, rows):
+        for row in rows:
+            parts = row["ours_inputs_mb"] + row["ours_weights_mb"] + row["ours_outputs_mb"]
+            assert parts == pytest.approx(row["ours_mb"], rel=1e-6)
+
+    def test_lower_bound_not_much_above_ours(self, rows):
+        for row in rows:
+            assert row["lower_bound_mb"] <= row["ours_mb"] * 1.1
+
+    def test_implementation_close_to_dataflow(self, rows):
+        for row in rows:
+            assert row["implementation-1_mb"] <= row["ours_mb"] * 1.2
+
+    def test_baselines_present(self, rows):
+        assert "InR-A_mb" in rows[0]
+        assert "WtR-A_mb" in rows[0]
+
+
+class TestGbufExperiments:
+    def test_gbuf_per_layer_rows(self, subset_layers, two_impls):
+        rows = gbuf_per_layer(layers=subset_layers, implementations=two_impls)
+        assert len(rows) == len(subset_layers)
+        for row in rows:
+            assert row["eyeriss_mb"] > row["implementation-1_mb"]
+            assert row["implementation-3_mb"] > 0
+
+    def test_gbuf_dram_ratio_structure(self, subset_layers):
+        ratio = gbuf_dram_ratio(layers=subset_layers, implementation_index=1)
+        assert ratio["implementation"] == "implementation-1"
+        assert ratio["weights"]["read_ratio"] == pytest.approx(1.0)
+        assert ratio["weights"]["write_ratio"] == pytest.approx(1.0)
+        assert 1.0 <= ratio["inputs"]["read_ratio"] < 3.0
+        assert ratio["inputs"]["write_ratio"] == pytest.approx(1.0)
+        assert ratio["outputs"]["gbuf_read_mb"] == 0.0
+
+
+class TestRegExperiment:
+    def test_reg_per_layer(self, subset_layers, two_impls):
+        rows = reg_per_layer(layers=subset_layers, implementations=two_impls)
+        for row in rows:
+            assert row["implementation-1_gb"] >= row["lower_bound_gb"]
+            assert row["implementation-1_gb"] <= 1.3 * row["lower_bound_gb"]
+
+
+class TestEyerissComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, subset_layers):
+        return eyeriss_comparison(layers=subset_layers)
+
+    def test_per_layer_rows(self, comparison, subset_layers):
+        assert len(comparison["per_layer"]) == len(subset_layers)
+
+    def test_summary_rows(self, comparison):
+        rows = comparison["summary"]["rows"]
+        assert rows["Lower bound"]["dram_access_mb"] <= rows["Our dataflow"]["dram_access_mb"]
+        assert (
+            rows["Eyeriss (uncompr.)"]["dram_access_mb"]
+            > rows["Eyeriss (compr.)"]["dram_access_mb"]
+        )
+        assert rows["Our dataflow"]["dram_access_per_mac"] > 0
+
+    def test_reported_rows_included(self, comparison):
+        rows = comparison["summary"]["rows"]
+        assert "Eyeriss (uncompr., reported)" in rows
+        assert rows["Eyeriss (uncompr., reported)"]["dram_access_mb"] == pytest.approx(528.8)
+
+
+class TestEnergyAndPerformance:
+    def test_energy_report_structure(self, subset_layers, two_impls):
+        report = energy_report(layers=subset_layers, implementations=two_impls)
+        assert len(report["implementations"]) == 2
+        for row in report["implementations"]:
+            assert row["pj_per_mac"] > row["lower_bound_pj_per_mac"]
+            assert row["gap"] > 0
+            components = row["components_pj_per_mac"]
+            assert sum(components.values()) == pytest.approx(row["pj_per_mac"], rel=1e-6)
+
+    def test_energy_mac_dominates_dram(self, subset_layers, two_impls):
+        # "Our accelerator is computation dominant": MAC energy is the largest
+        # single on-chip component.
+        report = energy_report(layers=subset_layers, implementations=two_impls)
+        for row in report["implementations"]:
+            components = row["components_pj_per_mac"]
+            assert components["MAC units"] >= components["GBufs"]
+            assert components["MAC units"] >= components["GRegs"]
+
+    def test_performance_rows(self, subset_layers, two_impls):
+        rows = performance_comparison(layers=subset_layers, implementations=two_impls)
+        assert len(rows) == 2
+        more_pes = rows[1]
+        fewer_pes = rows[0]
+        assert more_pes["num_pes"] > fewer_pes["num_pes"]
+        assert more_pes["computing_seconds"] < fewer_pes["computing_seconds"]
+        assert more_pes["power_watts"] > fewer_pes["power_watts"]
+        for row in rows:
+            assert 0 <= row["waiting_fraction"] < 1
+
+    def test_utilization_rows(self, subset_layers, two_impls):
+        rows = utilization_report(layers=subset_layers, implementations=two_impls)
+        assert len(rows) == 2
+        for row in rows:
+            for key in ("gbuf", "greg", "lreg", "memory_overall", "pe"):
+                assert 0.0 <= row[key] <= 1.0
+            assert row["pe"] > 0.5
+            assert row["lreg"] > 0.5

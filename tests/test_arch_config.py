@@ -1,0 +1,65 @@
+"""Tests for repro.arch.config (Table I)."""
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig, PAPER_IMPLEMENTATIONS, paper_implementation
+
+
+class TestPaperImplementations:
+    def test_five_implementations(self):
+        assert len(PAPER_IMPLEMENTATIONS) == 5
+
+    @pytest.mark.parametrize(
+        "index,pes,lreg_bytes,greg_kib",
+        [(1, 256, 256, 10), (2, 512, 128, 15), (3, 1024, 64, 18), (4, 1024, 128, 27), (5, 2048, 64, 36)],
+    )
+    def test_table1_rows(self, index, pes, lreg_bytes, greg_kib):
+        config = paper_implementation(index)
+        assert config.num_pes == pes
+        assert config.lreg_bytes_per_pe == lreg_bytes
+        assert config.greg_kib == pytest.approx(greg_kib)
+
+    def test_effective_memory_66_5_kib_for_first_three(self):
+        for index in (1, 2, 3):
+            assert paper_implementation(index).effective_on_chip_kib == pytest.approx(66.5)
+
+    def test_effective_memory_131_6_kib_for_last_two(self):
+        for index in (4, 5):
+            assert paper_implementation(index).effective_on_chip_kib == pytest.approx(131.625)
+
+    def test_gbuf_sizes(self):
+        assert paper_implementation(1).gbuf_kib == pytest.approx(2.5)
+        assert paper_implementation(4).gbuf_kib == pytest.approx(3.625)
+
+    def test_psum_capacity_is_64_kib_for_impl1(self):
+        config = paper_implementation(1)
+        assert config.psum_words == 32768
+
+    def test_paper_implementation_bad_index(self):
+        with pytest.raises(IndexError):
+            paper_implementation(6)
+        with pytest.raises(IndexError):
+            paper_implementation(0)
+
+    def test_describe_contains_key_numbers(self):
+        text = paper_implementation(1).describe()
+        assert "16x16" in text
+        assert "66.5" in text
+
+
+class TestConfigValidation:
+    def test_group_must_divide_array(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", pe_rows=10, pe_cols=16, lreg_words_per_pe=32,
+                              igbuf_words=64, wgbuf_words=64, greg_bytes=1024,
+                              group_rows=4, group_cols=4)
+
+    def test_positive_fields_required(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig("bad", pe_rows=0, pe_cols=16, lreg_words_per_pe=32,
+                              igbuf_words=64, wgbuf_words=64, greg_bytes=1024)
+
+    def test_group_counts(self):
+        config = paper_implementation(5)
+        assert config.num_group_rows == 16
+        assert config.num_group_cols == 8

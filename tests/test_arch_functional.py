@@ -1,0 +1,97 @@
+"""Tests for the functional simulator: numerical correctness and counter validation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.arch.memory import CapacityError
+from repro.core.mm_conversion import reference_convolution
+from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.tiling import Tiling
+from repro.workloads.generator import small_test_layers
+
+
+def _tensors(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.standard_normal(
+        (layer.batch, layer.in_channels, layer.in_height, layer.in_width)
+    )
+    weights = rng.standard_normal(
+        (layer.out_channels, layer.in_channels, layer.kernel_height, layer.kernel_width)
+    )
+    return inputs, weights
+
+
+def _some_tilings(layer):
+    """A few representative tilings for a small layer."""
+    return [
+        Tiling(b=1, z=1, y=1, x=1, k=1),
+        Tiling(b=1, z=2, y=3, x=4, k=1),
+        Tiling(b=2, z=3, y=2, x=5, k=2),
+        Tiling(b=layer.batch, z=layer.out_channels, y=layer.out_height,
+               x=layer.out_width, k=layer.in_channels),
+        choose_tiling(layer, 256).tiling,
+    ]
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("layer", small_test_layers(), ids=lambda l: l.name)
+    def test_matches_reference_convolution(self, layer):
+        inputs, weights = _tensors(layer)
+        reference = reference_convolution(inputs, weights, layer)
+        simulator = FunctionalSimulator()
+        for tiling in _some_tilings(layer):
+            result = simulator.run(layer, tiling, inputs, weights)
+            np.testing.assert_allclose(result.outputs, reference, rtol=1e-9, atol=1e-9)
+
+    def test_input_shape_validated(self, small_layer):
+        inputs, weights = _tensors(small_layer)
+        simulator = FunctionalSimulator()
+        with pytest.raises(ValueError):
+            simulator.run(small_layer, Tiling(1, 1, 1, 1), inputs[:, :1], weights)
+        with pytest.raises(ValueError):
+            simulator.run(small_layer, Tiling(1, 1, 1, 1), inputs, weights[:, :, :1])
+
+
+class TestCounterValidation:
+    @pytest.mark.parametrize("layer", small_test_layers(), ids=lambda l: l.name)
+    def test_dram_counts_match_analytic_model(self, layer):
+        inputs, weights = _tensors(layer)
+        simulator = FunctionalSimulator()
+        for tiling in _some_tilings(layer):
+            result = simulator.run(layer, tiling, inputs, weights)
+            analytic = dataflow_traffic(layer, tiling)
+            assert result.dram_input_reads == pytest.approx(analytic.input_reads)
+            assert result.dram_weight_reads == pytest.approx(analytic.weight_reads)
+            assert result.dram_output_writes == pytest.approx(analytic.output_writes)
+
+    def test_dram_counter_object_consistent(self, small_layer):
+        inputs, weights = _tensors(small_layer)
+        result = FunctionalSimulator().run(small_layer, Tiling(1, 2, 4, 4), inputs, weights)
+        assert result.dram.reads == result.dram_input_reads + result.dram_weight_reads
+        assert result.dram.writes == result.dram_output_writes
+        assert result.traffic.total == result.dram.reads + result.dram.writes
+
+    def test_gbuf_writes_match_dram_reads(self, small_layer):
+        inputs, weights = _tensors(small_layer)
+        result = FunctionalSimulator().run(small_layer, Tiling(1, 2, 4, 4), inputs, weights)
+        assert result.igbuf.writes == result.dram_input_reads
+        assert result.wgbuf.writes == result.dram_weight_reads
+        assert result.igbuf.reads == result.igbuf.writes
+        assert result.wgbuf.reads == result.wgbuf.writes
+
+
+class TestBufferCapacities:
+    def test_capacity_violation_detected(self, small_layer):
+        inputs, weights = _tensors(small_layer)
+        simulator = FunctionalSimulator(igbuf_words=4, wgbuf_words=1024)
+        with pytest.raises(CapacityError):
+            simulator.run(small_layer, Tiling(1, 4, 8, 8), inputs, weights)
+
+    def test_fitting_tiling_passes_capacity_check(self, small_layer):
+        inputs, weights = _tensors(small_layer)
+        tiling = Tiling(b=1, z=2, y=2, x=2, k=1)
+        igbuf_needed = tiling.staged_input_words(small_layer)
+        simulator = FunctionalSimulator(igbuf_words=igbuf_needed, wgbuf_words=64)
+        result = simulator.run(small_layer, tiling, inputs, weights)
+        assert result.igbuf.peak_occupancy <= igbuf_needed

@@ -1,0 +1,120 @@
+"""Tests for repro.arch.mapping (workload/storage mapping, Fig. 8/9)."""
+
+import pytest
+
+from repro.arch.config import paper_implementation
+from repro.arch.mapping import BlockShape, iteration_cost, map_block
+from repro.core.layer import ConvLayer, ceil_div
+
+
+@pytest.fixture
+def config():
+    return paper_implementation(1)  # 16x16 PEs, 128-word LRegs
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 3, 64, 56, 56, 128, 3, 3, stride=1, padding=1)
+
+
+class TestMapBlock:
+    def test_channels_dealt_over_columns(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        assert mapping.channels_per_pe == ceil_div(64, config.pe_cols)
+        assert mapping.used_pe_cols == min(config.pe_cols, 64)
+
+    def test_psums_fit_lregs_for_aligned_block(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        assert mapping.psums_per_pe <= config.lreg_words_per_pe
+        # 16*32*64 outputs over 256 PEs = 128 per PE -> exactly full LRegs.
+        assert mapping.psums_per_pe == 128
+
+    def test_allocation_covers_block(self, layer, config):
+        block = BlockShape(b=1, z=48, y=12, x=20)
+        mapping = map_block(layer, block, config)
+        allocated = mapping.used_pes * mapping.psums_per_pe
+        assert allocated >= block.outputs
+
+    def test_halo_dimensions(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        assert mapping.input_rows_per_pe == (mapping.rows_per_pe - 1) * layer.stride + 3
+        assert mapping.input_cols_per_pe == (mapping.cols_per_pe - 1) * layer.stride + 3
+
+    def test_small_block_uses_few_pes(self, layer, config):
+        block = BlockShape(b=1, z=4, y=2, x=2)
+        mapping = map_block(layer, block, config)
+        assert mapping.used_pe_cols == 4
+        assert mapping.used_pes <= config.num_pes
+
+    def test_batch_partitioning(self, config):
+        layer = ConvLayer("small", 3, 64, 14, 14, 128, 3, 3, padding=1)
+        block = BlockShape(b=3, z=64, y=14, x=14)
+        mapping = map_block(layer, block, config)
+        assert mapping.batch_per_pe * mapping.grid_batch >= 3 or mapping.batch_per_pe >= 1
+        assert mapping.psums_per_pe >= ceil_div(block.outputs, config.num_pes)
+
+    def test_cycles_per_pass(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        assert mapping.cycles_per_pass() == mapping.psums_per_pe
+
+
+class TestIterationCost:
+    def test_dram_loads_per_iteration(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config, channels=1)
+        assert cost.dram_input_reads == 1 * 18 * 34 * 1
+        assert cost.dram_weight_reads == 64 * 9
+
+    def test_gbuf_writes_equal_dram_reads(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config)
+        assert cost.igbuf_writes == cost.dram_input_reads
+        assert cost.wgbuf_writes == cost.dram_weight_reads
+
+    def test_weights_read_once_from_gbuf(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config)
+        assert cost.wgbuf_reads == cost.dram_weight_reads
+
+    def test_input_gbuf_reads_include_halo(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config)
+        # Halos make per-PE-row reads exceed the loaded inputs.
+        assert cost.igbuf_reads >= cost.igbuf_writes
+        assert cost.igbuf_reads <= 4 * cost.igbuf_writes
+
+    def test_cycles_and_macs(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config, channels=1)
+        kernel_area = layer.kernel_height * layer.kernel_width
+        assert cost.cycles == kernel_area * mapping.cycles_per_pass()
+        assert cost.useful_macs == block.outputs * kernel_area
+        assert cost.lreg_writes >= cost.useful_macs
+
+    def test_greg_writes_account_for_group_duplication(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        cost = iteration_cost(layer, block, mapping, config)
+        expected = (
+            config.num_group_rows * cost.wgbuf_reads
+            + config.num_group_cols * cost.igbuf_reads
+        )
+        assert cost.greg_writes == expected
+
+    def test_cost_scales_linearly_with_channels(self, layer, config):
+        block = BlockShape(b=1, z=64, y=16, x=32)
+        mapping = map_block(layer, block, config)
+        one = iteration_cost(layer, block, mapping, config, channels=1)
+        four = iteration_cost(layer, block, mapping, config, channels=4)
+        assert four.dram_input_reads == 4 * one.dram_input_reads
+        assert four.cycles == 4 * one.cycles
+        assert four.useful_macs == 4 * one.useful_macs

@@ -1,0 +1,84 @@
+"""Tests for repro.arch.memory."""
+
+import pytest
+
+from repro.arch.memory import CapacityError, CountingMemory, MemoryHierarchy
+from repro.arch.config import paper_implementation
+
+
+class TestCountingMemory:
+    def test_read_write_counters(self):
+        memory = CountingMemory("m")
+        memory.read(5)
+        memory.write(3)
+        memory.read()
+        assert memory.reads == 6
+        assert memory.writes == 3
+        assert memory.accesses == 9
+        assert memory.access_bytes == 18
+
+    def test_negative_counts_rejected(self):
+        memory = CountingMemory("m")
+        with pytest.raises(ValueError):
+            memory.read(-1)
+        with pytest.raises(ValueError):
+            memory.write(-1)
+
+    def test_allocate_and_release(self):
+        memory = CountingMemory("m", capacity_words=10)
+        memory.allocate(6)
+        memory.allocate(4)
+        assert memory.occupancy == 10
+        assert memory.peak_occupancy == 10
+        memory.release(10)
+        assert memory.occupancy == 0
+
+    def test_capacity_enforced(self):
+        memory = CountingMemory("m", capacity_words=4)
+        with pytest.raises(CapacityError):
+            memory.allocate(5)
+
+    def test_release_validation(self):
+        memory = CountingMemory("m", capacity_words=4)
+        memory.allocate(2)
+        with pytest.raises(ValueError):
+            memory.release(3)
+
+    def test_utilization_from_samples(self):
+        memory = CountingMemory("m", capacity_words=10)
+        memory.allocate(5)
+        memory.sample_occupancy()
+        memory.allocate(5)
+        memory.sample_occupancy()
+        assert memory.utilization() == pytest.approx(0.75)
+
+    def test_utilization_unbounded_memory_is_zero(self):
+        memory = CountingMemory("dram")
+        memory.allocate(100)
+        assert memory.utilization() == 0.0
+
+    def test_reset(self):
+        memory = CountingMemory("m", capacity_words=10)
+        memory.read(3)
+        memory.allocate(4)
+        memory.reset()
+        assert memory.reads == 0
+        assert memory.occupancy == 0
+        assert memory.peak_occupancy == 0
+
+
+class TestMemoryHierarchy:
+    def test_for_config(self):
+        config = paper_implementation(1)
+        hierarchy = MemoryHierarchy.for_config(config)
+        assert hierarchy.dram.capacity_words is None
+        assert hierarchy.igbuf.capacity_words == config.igbuf_words
+        assert hierarchy.wgbuf.capacity_words == config.wgbuf_words
+        assert hierarchy.lreg.capacity_words == config.psum_words
+        assert len(hierarchy.all_levels()) == 5
+
+    def test_hierarchy_reset(self):
+        hierarchy = MemoryHierarchy.for_config(paper_implementation(1))
+        hierarchy.dram.read(10)
+        hierarchy.reset()
+        assert hierarchy.dram.reads == 0

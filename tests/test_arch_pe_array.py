@@ -1,0 +1,55 @@
+"""Tests for repro.arch.pe_array (structural model, Fig. 10/11)."""
+
+import pytest
+
+from repro.arch.config import paper_implementation
+from repro.arch.pe_array import PEArray
+
+
+@pytest.fixture
+def array():
+    return PEArray(paper_implementation(1))
+
+
+class TestStructure:
+    def test_total_pe_count(self, array):
+        assert len(array) == 256
+
+    def test_pe_lookup(self, array):
+        pe = array.pe(3, 7)
+        assert (pe.row, pe.col) == (3, 7)
+        assert pe.lreg_words == 128
+
+    def test_pe_lookup_out_of_range(self, array):
+        with pytest.raises(IndexError):
+            array.pe(16, 0)
+
+    def test_rows_and_columns(self, array):
+        assert len(array.row(0)) == 16
+        assert len(array.column(5)) == 16
+        assert all(pe.row == 2 for pe in array.row(2))
+        assert all(pe.col == 5 for pe in array.column(5))
+
+    def test_groups(self, array):
+        group = array.group(0, 0)
+        assert len(group) == 16  # 4x4 PE group
+        assert all(pe.group_row == 0 and pe.group_col == 0 for pe in group)
+
+    def test_number_of_groups(self, array):
+        assert array.num_groups() == 16
+
+
+class TestChannelAssignment:
+    def test_round_robin_channels(self, array):
+        pe = array.pe(0, 3)
+        assert pe.assigned_channels(z=40, pe_cols=16) == [3, 19, 35]
+
+    def test_channel_coverage_complete_and_unique(self, array):
+        coverage = array.channel_coverage(z=60)
+        assert set(coverage) == set(range(60))
+        assert all(len(columns) == 1 for columns in coverage.values())
+
+    def test_pes_in_same_column_share_channels(self, array):
+        a = array.pe(0, 2).assigned_channels(z=32, pe_cols=16)
+        b = array.pe(9, 2).assigned_channels(z=32, pe_cols=16)
+        assert a == b

@@ -1,0 +1,76 @@
+"""Tests for repro.arch.performance and the DRAM model."""
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import paper_implementation
+from repro.arch.performance import PerformanceReport, performance_report, throughput_macs_per_second
+from repro.core.layer import ConvLayer
+from repro.energy.dram import DramModel
+from repro.energy.model import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def network_run():
+    layer = ConvLayer("l", 1, 32, 28, 28, 64, 3, 3, padding=1)
+    config = paper_implementation(1)
+    model = AcceleratorModel(config)
+    network = model.run_network([layer])
+    energy = EnergyModel().network_energy(network, config)
+    return config, network, energy
+
+
+class TestPerformanceReport:
+    def test_seconds_from_cycles(self, network_run):
+        config, network, energy = network_run
+        report = performance_report(network, config, energy)
+        assert report.compute_seconds == pytest.approx(network.compute_cycles / config.clock_hz)
+        assert report.waiting_seconds == pytest.approx(network.waiting_cycles / config.clock_hz)
+        assert report.total_seconds == report.compute_seconds + report.waiting_seconds
+
+    def test_power_is_energy_over_time(self, network_run):
+        config, network, energy = network_run
+        report = performance_report(network, config, energy)
+        assert report.power_watts == pytest.approx(
+            report.energy_joules / report.total_seconds
+        )
+        assert 0.01 < report.power_watts < 100
+
+    def test_waiting_fraction(self, network_run):
+        config, network, energy = network_run
+        report = performance_report(network, config, energy)
+        assert 0.0 <= report.waiting_fraction < 1.0
+
+    def test_speedup(self):
+        fast = PerformanceReport("fast", compute_seconds=1.0, waiting_seconds=0.0, energy_joules=1.0)
+        slow = PerformanceReport("slow", compute_seconds=3.0, waiting_seconds=1.0, energy_joules=1.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            PerformanceReport("zero", 0.0, 0.0, 0.0).speedup_over(fast)
+
+    def test_throughput(self, network_run):
+        config, network, _ = network_run
+        throughput = throughput_macs_per_second(network, config)
+        peak = config.num_pes * config.clock_hz
+        assert 0 < throughput <= peak
+
+
+class TestDramModel:
+    def test_access_energy(self):
+        dram = DramModel()
+        assert dram.access_energy_pj(10) == pytest.approx(4279.0)
+        with pytest.raises(ValueError):
+            dram.access_energy_pj(-1)
+
+    def test_transfer_time(self):
+        dram = DramModel()
+        # 6.4 GB/s, 2 bytes/word: 3.2e9 words/s plus the fixed latency.
+        time_s = dram.transfer_time_s(3.2e9)
+        assert time_s == pytest.approx(1.0 + dram.access_latency_s)
+        with pytest.raises(ValueError):
+            dram.transfer_time_s(-5)
+
+    def test_transfer_cycles_and_bandwidth(self):
+        dram = DramModel()
+        assert dram.bytes_per_core_cycle(500e6) == pytest.approx(12.8)
+        assert dram.transfer_cycles(0, 500e6) == pytest.approx(dram.access_latency_s * 500e6)

@@ -1,0 +1,113 @@
+"""Tests for the controller schedule generator (repro.arch.schedule)."""
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import paper_implementation
+from repro.arch.mapping import BlockShape
+from repro.arch.schedule import ScheduleGenerator, schedule_summary
+from repro.core.layer import ConvLayer
+from repro.core.optimal_dataflow import dataflow_traffic
+from repro.core.tiling import Tiling
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_implementation(1)
+
+
+@pytest.fixture(scope="module")
+def generator(config):
+    return ScheduleGenerator(config)
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("sched", 1, 4, 18, 18, 32, 3, 3, stride=1, padding=1)
+
+
+class TestBlockSchedule:
+    def test_pass_and_iteration_counts(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        block = BlockShape(b=1, z=16, y=6, x=6)
+        schedule = generator.block_schedule(layer, tiling, block)
+        assert len(schedule.iterations) == layer.in_channels
+        kernel_area = layer.kernel_height * layer.kernel_width
+        assert all(len(it.passes) == kernel_area for it in schedule.iterations)
+        assert schedule.total_passes == layer.in_channels * kernel_area
+
+    def test_pass_records_enumerate_kernel_positions(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        block = BlockShape(b=1, z=16, y=6, x=6)
+        schedule = generator.block_schedule(layer, tiling, block)
+        first_iteration = schedule.iterations[0]
+        positions = {(p.kernel_row, p.kernel_col) for p in first_iteration.passes}
+        assert positions == {(r, c) for r in range(3) for c in range(3)}
+        assert all(p.weights_loaded == block.z for p in first_iteration.passes)
+
+    def test_channel_step_groups_passes(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=2)
+        block = BlockShape(b=1, z=16, y=6, x=6)
+        schedule = generator.block_schedule(layer, tiling, block)
+        assert len(schedule.iterations) == 2
+        assert all(len(it.passes) == 2 * 9 for it in schedule.iterations)
+
+    def test_compute_cycles_match_mapping(self, generator, layer, config):
+        from repro.arch.mapping import map_block
+
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        block = BlockShape(b=1, z=16, y=6, x=6)
+        schedule = generator.block_schedule(layer, tiling, block)
+        mapping = map_block(layer, block, config)
+        expected = layer.in_channels * 9 * mapping.cycles_per_pass()
+        assert schedule.compute_cycles == expected
+
+    def test_stall_cycles_nonnegative(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        block = BlockShape(b=1, z=16, y=6, x=6)
+        schedule = generator.block_schedule(layer, tiling, block)
+        assert all(it.stall_cycles >= 0 for it in schedule.iterations)
+
+
+class TestLayerSchedule:
+    def test_blocks_cover_layer(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        schedules = list(generator.layer_schedule(layer, tiling))
+        covered = sum(schedule.block.outputs for schedule in schedules)
+        assert covered == layer.num_outputs
+
+    def test_max_blocks_truncates(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        schedules = list(generator.layer_schedule(layer, tiling, max_blocks=3))
+        assert len(schedules) == 3
+
+    def test_dram_loads_match_analytic_traffic(self, generator, layer):
+        tiling = Tiling(b=1, z=16, y=6, x=6, k=1)
+        schedules = list(generator.layer_schedule(layer, tiling))
+        loaded = sum(schedule.dram_words_loaded for schedule in schedules)
+        analytic = dataflow_traffic(layer, tiling)
+        assert loaded == pytest.approx(analytic.input_reads + analytic.weight_reads)
+
+    def test_summary_matches_accelerator_compute_cycles(self, generator, layer, config):
+        model = AcceleratorModel(config)
+        tiling = model.choose_layer_tiling(layer)
+        schedules = list(generator.layer_schedule(layer, tiling))
+        summary = schedule_summary(schedules)
+        result = model.run_layer(layer, tiling=tiling)
+        assert summary["compute_cycles"] == result.compute_cycles
+        assert summary["dram_words_loaded"] == pytest.approx(
+            result.dram.input_reads + result.dram.weight_reads
+        )
+
+    def test_default_tiling_is_valid(self, generator, layer):
+        schedules = list(generator.layer_schedule(layer))
+        assert schedules
+        assert sum(schedule.block.outputs for schedule in schedules) == layer.num_outputs
+
+    def test_summary_fields(self, generator, layer):
+        tiling = Tiling(b=1, z=8, y=9, x=9, k=1)
+        schedules = list(generator.layer_schedule(layer, tiling))
+        summary = schedule_summary(schedules)
+        assert summary["blocks"] == len(schedules)
+        assert summary["passes"] > 0
+        assert summary["stall_cycles"] >= 0

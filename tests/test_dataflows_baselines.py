@@ -1,0 +1,126 @@
+"""Tests for the Fig. 12 baseline dataflows (OutR, WtR, InR)."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, ceil_div
+from repro.dataflows.inr import InRA, InRB, InRC
+from repro.dataflows.outr import OutRA, OutRB
+from repro.dataflows.wtr import WtRA, WtRB
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 2, 8, 20, 20, 16, 3, 3, stride=1, padding=0)
+
+
+class TestOutRA:
+    def test_traffic_formula(self, layer):
+        tiling = {"x": 6, "y": 6}
+        traffic = OutRA().traffic(layer, 10 ** 6, tiling)
+        blocks = layer.batch * layer.out_channels * 3 * 3
+        assert traffic.input_reads == blocks * 8 * 8 * layer.in_channels
+        assert traffic.weight_reads == blocks * layer.in_channels * 9
+        assert traffic.output_writes == layer.num_outputs
+        assert traffic.output_reads == 0
+
+    def test_tiling_space_respects_capacity(self, layer):
+        for tiling in OutRA().tiling_space(layer, capacity_words=30):
+            assert tiling["x"] * tiling["y"] <= 30
+
+    def test_search_finds_full_plane_with_big_memory(self, layer):
+        result = OutRA().search(layer, 10 ** 6)
+        assert result.tiling == {"x": layer.out_width, "y": layer.out_height}
+
+
+class TestOutRB:
+    def test_weights_streamed_per_spatial_tile(self, layer):
+        tiling = {"x": 9, "y": 9}
+        traffic = OutRB().traffic(layer, 10 ** 6, tiling)
+        blocks = layer.batch * 2 * 2
+        assert traffic.weight_reads == blocks * layer.num_weights
+        assert traffic.output_writes == layer.num_outputs
+
+    def test_capacity_includes_all_channels(self, layer):
+        for tiling in OutRB().tiling_space(layer, capacity_words=64):
+            assert tiling["x"] * tiling["y"] * layer.out_channels <= 64
+
+    def test_better_weight_reuse_than_outra_with_equal_tiles(self, layer):
+        # For the same resident-output spatial tile, OutR-B streams the weights
+        # once per tile but reuses every input across all kernels.
+        a = OutRA().traffic(layer, 10 ** 6, {"x": 6, "y": 6})
+        b = OutRB().traffic(layer, 10 ** 6, {"x": 6, "y": 6})
+        assert b.input_reads < a.input_reads
+
+
+class TestWtRA:
+    def test_traffic_formula(self, layer):
+        tiling = {"z": 4, "k": 2}
+        traffic = WtRA().traffic(layer, 10 ** 6, tiling)
+        kernel_blocks = ceil_div(layer.out_channels, 4)
+        channel_blocks = ceil_div(layer.in_channels, 2)
+        assert traffic.weight_reads == layer.num_weights
+        assert traffic.input_reads == kernel_blocks * layer.num_inputs
+        assert traffic.output_writes == layer.num_outputs * channel_blocks
+        assert traffic.output_reads == layer.num_outputs * (channel_blocks - 1)
+
+    def test_full_channels_avoid_psum_spill(self, layer):
+        traffic = WtRA().traffic(layer, 10 ** 6, {"z": 4, "k": layer.in_channels})
+        assert traffic.output_reads == 0
+        assert traffic.output_writes == layer.num_outputs
+
+    def test_capacity_constraint(self, layer):
+        area = layer.kernel_height * layer.kernel_width
+        for tiling in WtRA().tiling_space(layer, capacity_words=100):
+            assert tiling["z"] * tiling["k"] * area <= 100
+
+
+class TestWtRB:
+    def test_traffic_formula(self, layer):
+        traffic = WtRB().traffic(layer, 10 ** 6, {"z": 4})
+        kernel_blocks = ceil_div(layer.out_channels, 4)
+        assert traffic.input_reads == kernel_blocks * layer.num_inputs
+        assert traffic.weight_reads == layer.num_weights
+        assert traffic.output_reads == 0
+
+    def test_no_tiling_when_kernel_too_large(self):
+        huge = ConvLayer("huge", 1, 512, 14, 14, 512, 3, 3, padding=1)
+        assert list(WtRB().tiling_space(huge, capacity_words=1000)) == []
+
+    def test_all_kernels_resident_reads_inputs_once(self, layer):
+        traffic = WtRB().traffic(layer, 10 ** 6, {"z": layer.out_channels})
+        assert traffic.input_reads == layer.num_inputs
+
+
+class TestInR:
+    def test_inra_formula(self, layer):
+        tiling = {"k": 2, "y": 6, "x": 6}
+        traffic = InRA().traffic(layer, 10 ** 6, tiling)
+        channel_blocks = ceil_div(layer.in_channels, 2)
+        spatial_blocks = 3 * 3
+        assert traffic.weight_reads == layer.batch * spatial_blocks * layer.num_weights
+        assert traffic.output_writes == layer.num_outputs * channel_blocks
+        assert traffic.input_reads >= layer.num_inputs  # halos make it larger
+
+    def test_inrb_reads_inputs_once(self, layer):
+        traffic = InRB().traffic(layer, 10 ** 6, {"k": 2})
+        assert traffic.input_reads == layer.num_inputs
+        assert traffic.weight_reads == layer.batch * layer.num_weights
+
+    def test_inrc_no_psum_spill(self, layer):
+        traffic = InRC().traffic(layer, 10 ** 6, {"y": 5, "x": 5})
+        assert traffic.output_reads == 0
+        assert traffic.output_writes == layer.num_outputs
+        assert traffic.weight_reads == layer.batch * 4 * 4 * layer.num_weights
+
+    def test_inrb_capacity_constraint(self, layer):
+        plane = layer.in_height * layer.in_width
+        for tiling in InRB().tiling_space(layer, capacity_words=3 * plane):
+            assert tiling["k"] <= 3
+
+    def test_search_orders_match_expectation(self, layer):
+        # With generous memory every dataflow approaches the ideal; with a tight
+        # budget the input-stationary variants must re-stream weights heavily.
+        capacity = 400
+        inra = InRA().search(layer, capacity).total
+        inrc = InRC().search(layer, capacity).total
+        assert inra > 0 and inrc > 0

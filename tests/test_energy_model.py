@@ -1,0 +1,127 @@
+"""Tests for repro.energy.model (Table II energy model)."""
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import paper_implementation
+from repro.core.layer import ConvLayer
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    OPERATION_ENERGY,
+    efficiency_gap,
+    lreg_access_energy_pj,
+    sram_access_energy_pj,
+)
+
+
+class TestOperationEnergies:
+    def test_table2_values_present(self):
+        assert OPERATION_ENERGY["mac"] == pytest.approx(4.16)
+        assert OPERATION_ENERGY["dram"] == pytest.approx(427.9)
+        assert OPERATION_ENERGY["lreg_128B"] == pytest.approx(1.92)
+
+    @pytest.mark.parametrize("size,expected", [(256, 3.39), (128, 1.92), (64, 1.16)])
+    def test_lreg_energy_at_table_points(self, size, expected):
+        assert lreg_access_energy_pj(size) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("size,expected", [(512, 0.30), (2048, 1.39)])
+    def test_sram_energy_at_table_points(self, size, expected):
+        assert sram_access_energy_pj(size) == pytest.approx(expected)
+
+    def test_interpolation_monotone(self):
+        assert lreg_access_energy_pj(64) < lreg_access_energy_pj(96) < lreg_access_energy_pj(128)
+        assert sram_access_energy_pj(1024) < sram_access_energy_pj(3072)
+
+    def test_extrapolation_stays_positive(self):
+        assert lreg_access_energy_pj(32) > 0
+        assert sram_access_energy_pj(8192) > sram_access_energy_pj(3200)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(0)
+
+
+class TestEnergyBreakdown:
+    def test_totals_and_pj_per_mac(self):
+        breakdown = EnergyBreakdown(dram=10, gbuf=1, mac=4, lreg_dynamic=2, lreg_static=1,
+                                    greg=0.5, other=0.5, macs=2)
+        assert breakdown.lreg == 3
+        assert breakdown.total == pytest.approx(19.0)
+        assert breakdown.pj_per_mac == pytest.approx(9.5)
+        assert breakdown.on_chip_total == pytest.approx(9.0)
+
+    def test_addition(self):
+        a = EnergyBreakdown(dram=1, mac=2, macs=1)
+        b = EnergyBreakdown(dram=3, mac=4, macs=2)
+        combined = a + b
+        assert combined.dram == 4
+        assert combined.macs == 3
+
+    def test_component_dict_matches_total(self):
+        breakdown = EnergyBreakdown(dram=10, gbuf=2, mac=4, lreg_dynamic=3, lreg_static=1,
+                                    greg=1, other=1, macs=4)
+        components = breakdown.component_pj_per_mac()
+        assert sum(components.values()) == pytest.approx(breakdown.pj_per_mac)
+
+    def test_empty_breakdown(self):
+        assert EnergyBreakdown().pj_per_mac == 0.0
+        assert EnergyBreakdown().component_pj_per_mac() == {}
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def layer_energy(self):
+        layer = ConvLayer("l", 1, 32, 28, 28, 64, 3, 3, padding=1)
+        config = paper_implementation(1)
+        result = AcceleratorModel(config).run_layer(layer)
+        return layer, config, result, EnergyModel().layer_energy(result, config)
+
+    def test_all_components_positive(self, layer_energy):
+        _, _, _, breakdown = layer_energy
+        for value in (breakdown.dram, breakdown.gbuf, breakdown.mac,
+                      breakdown.lreg_dynamic, breakdown.lreg_static, breakdown.greg,
+                      breakdown.other):
+            assert value > 0
+
+    def test_mac_energy_exact(self, layer_energy):
+        layer, _, result, breakdown = layer_energy
+        assert breakdown.mac == pytest.approx(result.macs * 4.16)
+
+    def test_dram_energy_exact(self, layer_energy):
+        _, _, result, breakdown = layer_energy
+        assert breakdown.dram == pytest.approx(result.dram.total * 427.9)
+
+    def test_network_energy_sums(self, layer_energy):
+        layer, config, _, single = layer_energy
+        network = AcceleratorModel(config).run_network([layer, layer])
+        total = EnergyModel().network_energy(network, config)
+        assert total.total == pytest.approx(2 * single.total, rel=1e-6)
+
+    def test_lower_bound_energy_below_actual(self, layer_energy):
+        layer, config, _, breakdown = layer_energy
+        bound = EnergyModel().lower_bound_energy([layer], config.effective_on_chip_words)
+        assert bound.total < breakdown.total
+        assert bound.macs == layer.macs
+
+    def test_efficiency_gap(self, layer_energy):
+        layer, config, _, breakdown = layer_energy
+        bound = EnergyModel().lower_bound_energy([layer], config.effective_on_chip_words)
+        gap = efficiency_gap(breakdown, bound)
+        assert gap > 0
+        with pytest.raises(ValueError):
+            efficiency_gap(breakdown, EnergyBreakdown())
+
+    def test_more_pes_reduce_lreg_static_share(self, vgg_layer_mid):
+        energy_model = EnergyModel()
+        small_cfg = paper_implementation(1)
+        big_cfg = paper_implementation(3)
+        small = energy_model.layer_energy(
+            AcceleratorModel(small_cfg).run_layer(vgg_layer_mid), small_cfg
+        )
+        big = energy_model.layer_energy(
+            AcceleratorModel(big_cfg).run_layer(vgg_layer_mid), big_cfg
+        )
+        # Paper's argument: more PEs -> shorter runtime and smaller LRegs ->
+        # lower register energy per MAC.
+        assert big.lreg / big.macs < small.lreg / small.macs

@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.arch.accelerator import AcceleratorModel
+from repro.arch.config import paper_implementation
+from repro.arch.performance import performance_report
+from repro.core.lower_bound import practical_lower_bound, reg_lower_bound
+from repro.core.optimal_dataflow import choose_tiling
+from repro.dataflows.registry import get_dataflow
+from repro.energy.model import EnergyModel, efficiency_gap
+from repro.eyeriss.model import EyerissModel
+from repro.workloads.alexnet import alexnet_conv_layers
+from repro.workloads.resnet import resnet18_conv_layers
+
+
+class TestFullStackOnVgg:
+    """The paper's headline claims, checked end to end on the real workload."""
+
+    @pytest.fixture(scope="class")
+    def run(self, vgg_layers):
+        config = paper_implementation(1)
+        model = AcceleratorModel(config)
+        network = model.run_network(vgg_layers)
+        energy = EnergyModel().network_energy(network, config)
+        return config, network, energy
+
+    def test_dram_traffic_near_lower_bound(self, run, vgg_layers):
+        config, network, _ = run
+        bound = sum(
+            practical_lower_bound(layer, config.effective_on_chip_words) for layer in vgg_layers
+        )
+        assert network.dram.total >= 0.95 * bound
+        assert network.dram.total <= 1.45 * bound
+
+    def test_input_and_weight_traffic_balanced(self, run):
+        _, network, _ = run
+        dram = network.dram
+        assert 0.5 < dram.input_reads / dram.weight_reads < 2.0
+
+    def test_gbuf_traffic_near_its_bound(self, run):
+        _, network, _ = run
+        dram_reads = network.dram.reads
+        # GBuf lower bound: everything loaded is written once and read once.
+        assert network.gbuf_accesses >= 2 * dram_reads * 0.99
+        assert network.gbuf_accesses <= 3 * dram_reads
+
+    def test_reg_traffic_near_its_bound(self, run, vgg_layers):
+        _, network, _ = run
+        bound = sum(reg_lower_bound(layer) for layer in vgg_layers)
+        assert bound <= network.reg_accesses <= 1.2 * bound
+
+    def test_energy_gap_in_paper_ballpark(self, run, vgg_layers):
+        config, network, energy = run
+        bound = EnergyModel().lower_bound_energy(vgg_layers, config.effective_on_chip_words)
+        gap = efficiency_gap(energy, bound)
+        # Paper: 37-87% across implementations; implementation 1 is the worst.
+        assert 0.1 < gap < 1.2
+
+    def test_computation_dominant(self, run):
+        _, _, energy = run
+        components = energy.component_pj_per_mac()
+        assert components["MAC units"] == max(
+            components[name] for name in ("MAC units", "DRAM", "GBufs", "GRegs", "Others")
+        )
+
+    def test_performance_report_consistent(self, run):
+        config, network, energy = run
+        report = performance_report(network, config, energy)
+        assert 0.05 < report.total_seconds < 5.0
+        assert 0.1 < report.power_watts < 20.0
+
+
+class TestOtherWorkloads:
+    @pytest.mark.parametrize("layers_fn", [alexnet_conv_layers, resnet18_conv_layers],
+                             ids=["alexnet", "resnet18"])
+    def test_dataflow_handles_other_networks(self, layers_fn):
+        capacity = 32768
+        ours = get_dataflow("Ours")
+        for layer in layers_fn():
+            bound = practical_lower_bound(layer, capacity)
+            total = ours.search(layer, capacity).total
+            assert total >= 0.9 * bound
+            assert total <= 3.0 * bound  # small layers can sit far from the asymptotic bound
+
+    def test_accelerator_handles_strided_layers(self):
+        config = paper_implementation(2)
+        model = AcceleratorModel(config)
+        results = [model.run_layer(layer) for layer in alexnet_conv_layers()]
+        assert all(result.dram.total > 0 for result in results)
+        # AlexNet's stride-4 11x11 first layer is pathological for an IGBuf
+        # sized around VGG-style 3x3 layers (its halo caps the spatial tile),
+        # so only the remaining layers are expected to keep the array busy.
+        assert all(result.utilization["pe"] > 0.05 for result in results)
+        assert all(result.utilization["pe"] > 0.5 for result in results[1:])
+
+
+class TestEyerissRelationship:
+    def test_ours_beats_uncompressed_eyeriss_on_vgg(self, vgg_layers, capacity_66k):
+        ours = get_dataflow("Ours")
+        eyeriss = EyerissModel()
+        ours_total = sum(ours.search(layer, int(173.5 * 1024 / 2)).total for layer in vgg_layers)
+        eyeriss_total = eyeriss.network_dram(vgg_layers).total
+        assert ours_total < eyeriss_total

@@ -1,0 +1,105 @@
+"""Tests for repro.core.matmul."""
+
+import numpy as np
+import pytest
+
+from repro.core.matmul import (
+    CountingBlockedMatMul,
+    MatMulTraffic,
+    blocked_mm_traffic,
+    mm_lower_bound,
+    optimal_block_sizes,
+)
+
+
+class TestAnalyticTraffic:
+    def test_single_block_reads_everything_once(self):
+        traffic = blocked_mm_traffic(10, 8, 6, block_m=10, block_n=6)
+        assert traffic.a_reads == 10 * 8
+        assert traffic.b_reads == 8 * 6
+        assert traffic.c_writes == 10 * 6
+
+    def test_row_blocking_rereads_b(self):
+        traffic = blocked_mm_traffic(10, 8, 6, block_m=5, block_n=6)
+        assert traffic.b_reads == 2 * 8 * 6
+        assert traffic.a_reads == 10 * 8
+
+    def test_column_blocking_rereads_a(self):
+        traffic = blocked_mm_traffic(10, 8, 6, block_m=10, block_n=3)
+        assert traffic.a_reads == 2 * 10 * 8
+        assert traffic.b_reads == 8 * 6
+
+    def test_total(self):
+        traffic = MatMulTraffic(a_reads=3, b_reads=4, c_writes=5)
+        assert traffic.total == 12
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            blocked_mm_traffic(4, 4, 4, 0, 1)
+
+    def test_oversized_blocks_clipped(self):
+        traffic = blocked_mm_traffic(4, 4, 4, 100, 100)
+        assert traffic.total == 3 * 16
+
+
+class TestLowerBound:
+    def test_formula(self):
+        assert mm_lower_bound(10, 10, 10, 25) == pytest.approx(2 * 1000 / 5 + 100)
+
+    def test_rejects_empty_memory(self):
+        with pytest.raises(ValueError):
+            mm_lower_bound(4, 4, 4, 0)
+
+    def test_blocked_traffic_respects_lower_bound(self):
+        m, kk, n, fast = 64, 48, 64, 200
+        block_m, block_n = optimal_block_sizes(m, kk, n, fast)
+        traffic = blocked_mm_traffic(m, kk, n, block_m, block_n)
+        # The achievable schedule can never beat the asymptotic bound by more
+        # than its constant-factor slack.
+        assert traffic.total >= 0.5 * mm_lower_bound(m, kk, n, fast)
+
+    def test_optimal_blocks_fit_memory(self):
+        m, kk, n, fast = 64, 48, 64, 200
+        block_m, block_n = optimal_block_sizes(m, kk, n, fast)
+        assert block_m * block_n + block_m + block_n <= fast
+
+    def test_more_memory_never_hurts(self):
+        m, kk, n = 128, 64, 96
+        totals = []
+        for fast in (64, 256, 1024, 4096):
+            block_m, block_n = optimal_block_sizes(m, kk, n, fast)
+            totals.append(blocked_mm_traffic(m, kk, n, block_m, block_n).total)
+        assert totals == sorted(totals, reverse=True)
+
+    def test_tiny_memory_degenerates_to_unit_blocks(self):
+        assert optimal_block_sizes(8, 8, 8, 2) == (1, 1)
+
+
+class TestCountingBlockedMatMul:
+    def test_result_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((17, 9))
+        b = rng.standard_normal((9, 13))
+        mm = CountingBlockedMatMul(block_m=5, block_n=4)
+        np.testing.assert_allclose(mm.multiply(a, b), a @ b, rtol=1e-10)
+
+    def test_counts_match_analytic_model(self):
+        rng = np.random.default_rng(1)
+        m, kk, n = 20, 7, 12
+        a = rng.standard_normal((m, kk))
+        b = rng.standard_normal((kk, n))
+        mm = CountingBlockedMatMul(block_m=6, block_n=5)
+        mm.multiply(a, b)
+        expected = blocked_mm_traffic(m, kk, n, 6, 5)
+        assert mm.traffic.a_reads == expected.a_reads
+        assert mm.traffic.b_reads == expected.b_reads
+        assert mm.traffic.c_writes == expected.c_writes
+
+    def test_rejects_shape_mismatch(self):
+        mm = CountingBlockedMatMul(2, 2)
+        with pytest.raises(ValueError):
+            mm.multiply(np.zeros((3, 4)), np.zeros((5, 6)))
+
+    def test_rejects_bad_block_sizes(self):
+        with pytest.raises(ValueError):
+            CountingBlockedMatMul(0, 1)

@@ -1,0 +1,92 @@
+"""Tests for the on-chip memory requirement analysis."""
+
+import pytest
+
+from repro.analysis.memory_requirements import (
+    bound_vs_ideal,
+    capacity_for_overhead,
+    ideal_memory_requirement,
+    network_memory_requirements,
+    requirement_report,
+)
+from repro.core.layer import ConvLayer
+from repro.core.lower_bound import ideal_traffic, practical_lower_bound
+from repro.workloads.vgg import vgg16_conv_layers
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return vgg16_conv_layers()[5]  # conv3_2
+
+
+class TestIdealMemoryRequirement:
+    def test_two_strategies(self, layer):
+        requirement = ideal_memory_requirement(layer)
+        buffer_words = layer.out_width * layer.out_channels
+        assert requirement.hold_inputs_words == layer.num_inputs + buffer_words
+        assert requirement.hold_weights_words == layer.num_weights + buffer_words
+        assert requirement.minimum_words == min(
+            requirement.hold_inputs_words, requirement.hold_weights_words
+        )
+
+    def test_requirement_far_exceeds_accelerator_capacity(self, layer):
+        # The paper's point: once-through traffic needs megabytes, not 66.5 KB.
+        requirement = ideal_memory_requirement(layer)
+        assert requirement.minimum_kib > 500
+
+    def test_custom_output_buffer(self, layer):
+        requirement = ideal_memory_requirement(layer, output_buffer_words=10)
+        assert requirement.hold_weights_words == layer.num_weights + 10
+
+    def test_network_requirements(self):
+        layers = vgg16_conv_layers()[:3]
+        requirements = network_memory_requirements(layers)
+        assert len(requirements) == 3
+        assert requirements[0].layer_name == layers[0].name
+
+
+class TestBoundVsIdeal:
+    def test_overhead_shrinks_with_capacity(self, layer):
+        rows = bound_vs_ideal(layer, [8192, 32768, 131072])
+        overheads = [row["overhead"] for row in rows]
+        assert overheads == sorted(overheads, reverse=True)
+        assert all(overhead >= 1.0 - 1e-9 for overhead in overheads)
+
+    def test_rows_report_bound_and_ideal(self, layer):
+        rows = bound_vs_ideal(layer, [32768])
+        row = rows[0]
+        assert row["bound_words"] == pytest.approx(practical_lower_bound(layer, 32768))
+        assert row["ideal_words"] == pytest.approx(ideal_traffic(layer))
+
+
+class TestCapacityForOverhead:
+    def test_capacity_achieves_target(self, layer):
+        capacity = capacity_for_overhead(layer, target_overhead=1.5)
+        assert practical_lower_bound(layer, capacity) <= 1.5 * ideal_traffic(layer) * 1.01
+
+    def test_tighter_target_needs_more_memory(self, layer):
+        loose = capacity_for_overhead(layer, target_overhead=2.0)
+        tight = capacity_for_overhead(layer, target_overhead=1.2)
+        assert tight > loose
+
+    def test_far_less_than_once_through_requirement(self, layer):
+        # The whole point of the bound: within a small factor of ideal traffic
+        # with a fraction of the once-through memory requirement.
+        requirement = ideal_memory_requirement(layer).minimum_words
+        assert capacity_for_overhead(layer, target_overhead=3.0) < requirement / 4
+        assert capacity_for_overhead(layer, target_overhead=2.0) < requirement
+
+    def test_invalid_target(self, layer):
+        with pytest.raises(ValueError):
+            capacity_for_overhead(layer, target_overhead=1.0)
+
+
+class TestRequirementReport:
+    def test_report_rows(self):
+        layers = vgg16_conv_layers()[4:8]  # conv3_1 .. conv4_1
+        rows = requirement_report(layers, capacities_kib=(66.5, 173.5))
+        assert len(rows) == 4
+        for row in rows:
+            # Deep VGG layers need far more than 66.5 KB for once-through traffic.
+            assert row["once_through_kib"] > 66.5
+            assert row["overhead_at_66.5kib"] >= row["overhead_at_173.5kib"] - 1e-9

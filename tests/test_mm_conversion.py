@@ -1,0 +1,108 @@
+"""Tests for repro.core.mm_conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.core.mm_conversion import (
+    conv_to_mm_shape,
+    convolution_via_mm,
+    im2col,
+    matrix_to_outputs,
+    outputs_to_matrix,
+    pad_input,
+    reference_convolution,
+    unfolding_expansion,
+    weights_to_matrix,
+)
+from repro.workloads.generator import small_test_layers
+
+
+def _random_tensors(layer, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.standard_normal(
+        (layer.batch, layer.in_channels, layer.in_height, layer.in_width)
+    )
+    weights = rng.standard_normal(
+        (layer.out_channels, layer.in_channels, layer.kernel_height, layer.kernel_width)
+    )
+    return inputs, weights
+
+
+class TestShapes:
+    def test_mm_shape(self):
+        layer = ConvLayer("l", 2, 3, 10, 10, 4, 3, 3)
+        shape = conv_to_mm_shape(layer)
+        assert shape.m == 2 * 8 * 8
+        assert shape.kk == 3 * 3 * 3
+        assert shape.n == 4
+        assert shape.flops == layer.macs
+
+    def test_matrix_word_counts(self):
+        layer = ConvLayer("l", 1, 2, 6, 6, 3, 3, 3)
+        shape = conv_to_mm_shape(layer)
+        assert shape.input_matrix_words == shape.m * shape.kk
+        assert shape.weight_matrix_words == layer.num_weights
+        assert shape.output_matrix_words == layer.num_outputs
+
+    def test_unfolding_expansion_bounded_by_reuse(self):
+        layer = ConvLayer("l", 1, 4, 32, 32, 8, 3, 3, padding=1)
+        expansion = unfolding_expansion(layer)
+        assert 1.0 < expansion <= layer.window_reuse + 1e-9
+
+    def test_unfolding_expansion_is_one_for_1x1(self):
+        layer = ConvLayer("l", 1, 4, 16, 16, 8, 1, 1)
+        assert unfolding_expansion(layer) == pytest.approx(1.0)
+
+
+class TestPadding:
+    def test_pad_input_zero_is_identity(self):
+        data = np.ones((1, 1, 4, 4))
+        assert pad_input(data, 0) is data
+
+    def test_pad_input_shape_and_zeros(self):
+        data = np.ones((1, 2, 4, 5))
+        padded = pad_input(data, 2)
+        assert padded.shape == (1, 2, 8, 9)
+        assert padded[0, 0, 0, 0] == 0
+        assert padded[0, 0, 2, 2] == 1
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("layer", small_test_layers(), ids=lambda l: l.name)
+    def test_im2col_matmul_matches_direct_convolution(self, layer):
+        inputs, weights = _random_tensors(layer)
+        direct = reference_convolution(inputs, weights, layer)
+        via_mm = convolution_via_mm(inputs, weights, layer)
+        np.testing.assert_allclose(direct, via_mm, rtol=1e-10, atol=1e-10)
+
+    def test_im2col_row_count(self, small_layer):
+        inputs, _ = _random_tensors(small_layer)
+        unfolded = im2col(inputs, small_layer)
+        shape = conv_to_mm_shape(small_layer)
+        assert unfolded.shape == (shape.m, shape.kk)
+
+    def test_weights_to_matrix_shape(self, small_layer):
+        _, weights = _random_tensors(small_layer)
+        matrix = weights_to_matrix(weights)
+        assert matrix.shape == (
+            small_layer.in_channels * small_layer.kernel_height * small_layer.kernel_width,
+            small_layer.out_channels,
+        )
+
+    def test_output_matrix_roundtrip(self, small_layer):
+        rng = np.random.default_rng(1)
+        outputs = rng.standard_normal(
+            (small_layer.batch, small_layer.out_channels,
+             small_layer.out_height, small_layer.out_width)
+        )
+        matrix = outputs_to_matrix(outputs)
+        back = matrix_to_outputs(matrix, small_layer)
+        np.testing.assert_array_equal(outputs, back)
+
+    def test_fc_layer_is_plain_matmul(self):
+        layer = ConvLayer.from_fc("fc", batch=5, in_features=12, out_features=7)
+        inputs, weights = _random_tensors(layer)
+        direct = reference_convolution(inputs, weights, layer)
+        expected = inputs.reshape(5, 12) @ weights.reshape(7, 12).T
+        np.testing.assert_allclose(direct.reshape(5, 7), expected, rtol=1e-10)

@@ -1,0 +1,141 @@
+"""Tests for repro.core.optimal_dataflow (the paper's dataflow)."""
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.core.lower_bound import ideal_traffic, practical_lower_bound
+from repro.core.optimal_dataflow import (
+    analytic_tiling,
+    choose_tiling,
+    dataflow_traffic,
+    traffic_at_capacity,
+)
+from repro.core.tiling import Tiling
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 2, 32, 28, 28, 64, 3, 3, stride=1, padding=1)
+
+
+class TestDataflowTraffic:
+    def test_single_block_reads_everything_once(self):
+        layer = ConvLayer("l", 1, 4, 10, 10, 8, 3, 3)
+        tiling = Tiling(b=1, z=8, y=8, x=8, k=4)
+        traffic = dataflow_traffic(layer, tiling)
+        assert traffic.weight_reads == layer.num_weights
+        assert traffic.input_reads == layer.num_inputs
+        assert traffic.output_writes == layer.num_outputs
+        assert traffic.output_reads == 0
+
+    def test_channel_tiling_does_not_change_traffic(self, layer):
+        full = dataflow_traffic(layer, Tiling(b=1, z=16, y=7, x=7, k=layer.in_channels))
+        chunked = dataflow_traffic(layer, Tiling(b=1, z=16, y=7, x=7, k=1))
+        assert full.total == pytest.approx(chunked.total)
+
+    def test_smaller_z_increases_input_traffic(self, layer):
+        # Eq. (14): the input term scales as 1/z, the weight term only depends
+        # on the spatial/batch tile.
+        wide = dataflow_traffic(layer, Tiling(b=1, z=64, y=7, x=7))
+        narrow = dataflow_traffic(layer, Tiling(b=1, z=16, y=7, x=7))
+        assert narrow.input_reads > wide.input_reads
+        assert narrow.weight_reads == wide.weight_reads
+
+    def test_smaller_spatial_tile_increases_weight_traffic(self, layer):
+        # Eq. (14): the weight term scales as 1/(b*x*y); the input term only
+        # grows through the larger halo share.
+        big = dataflow_traffic(layer, Tiling(b=1, z=16, y=14, x=14))
+        small = dataflow_traffic(layer, Tiling(b=1, z=16, y=7, x=7))
+        assert small.weight_reads > big.weight_reads
+        assert small.input_reads >= big.input_reads
+
+    def test_exact_accounts_for_partial_tiles(self):
+        layer = ConvLayer("l", 1, 2, 11, 11, 4, 3, 3)
+        # 9x9 output; tiles of 4 leave a ragged edge.
+        exact = dataflow_traffic(layer, Tiling(b=1, z=4, y=4, x=4), exact=True)
+        approx = dataflow_traffic(layer, Tiling(b=1, z=4, y=4, x=4), exact=False)
+        assert exact.total != pytest.approx(approx.total)
+        assert exact.output_writes == layer.num_outputs
+
+    def test_traffic_at_least_ideal(self, layer):
+        for tiling in (Tiling(1, 8, 4, 4), Tiling(2, 64, 28, 28), Tiling(1, 1, 1, 1)):
+            traffic = dataflow_traffic(layer, tiling)
+            assert traffic.total >= ideal_traffic(layer) - 1e-9
+
+
+class TestAnalyticTiling:
+    def test_respects_layer_bounds(self, layer):
+        tiling = analytic_tiling(layer, 4096).clip(layer)
+        assert tiling.z <= layer.out_channels
+        assert tiling.y <= layer.out_height
+        assert tiling.x <= layer.out_width
+        assert tiling.b <= layer.batch
+
+    def test_balance_near_reuse_factor(self):
+        layer = ConvLayer("l", 1, 256, 112, 112, 256, 3, 3, padding=1)
+        tiling = analytic_tiling(layer, 32768)
+        ratio = tiling.balance_ratio(layer)
+        assert 0.4 < ratio < 2.5
+
+    def test_small_plane_uses_batch(self):
+        layer = ConvLayer("l", 8, 64, 7, 7, 128, 3, 3, padding=1)
+        tiling = analytic_tiling(layer, 32768)
+        assert tiling.b > 1
+        assert tiling.y == layer.out_height
+        assert tiling.x == layer.out_width
+
+
+class TestChooseTiling:
+    def test_fits_capacity(self, layer):
+        for capacity in (512, 4096, 32768):
+            choice = choose_tiling(layer, capacity)
+            assert choice.tiling.on_chip_footprint(layer) <= capacity
+
+    def test_respects_fixed_split(self, layer):
+        choice = choose_tiling(
+            layer, 32768, psum_words=8192, input_buffer_words=1024, weight_buffer_words=64
+        )
+        tiling = choice.tiling
+        assert tiling.output_block_size() <= 8192
+        assert tiling.staged_input_words(layer) <= 1024
+        assert tiling.staged_weight_words() <= 64
+
+    def test_fixed_split_never_beats_free_split(self, layer):
+        free = choose_tiling(layer, 32768).traffic.total
+        constrained = choose_tiling(
+            layer, 32768, psum_words=4096, input_buffer_words=512, weight_buffer_words=64
+        ).traffic.total
+        assert constrained >= free - 1e-6
+
+    def test_rejects_tiny_capacity(self, layer):
+        with pytest.raises(ValueError):
+            choose_tiling(layer, 4)
+
+    def test_refinement_never_worse_than_seed(self, layer):
+        seed = choose_tiling(layer, 16384, refine=False)
+        refined = choose_tiling(layer, 16384, refine=True)
+        assert refined.traffic.total <= seed.traffic.total + 1e-6
+
+    def test_more_memory_reduces_traffic(self, vgg_layer_mid):
+        totals = [
+            choose_tiling(vgg_layer_mid, capacity).traffic.total
+            for capacity in (8192, 32768, 131072)
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_traffic_close_to_lower_bound_on_large_layer(self, vgg_layer_mid, capacity_66k):
+        bound = practical_lower_bound(vgg_layer_mid, capacity_66k)
+        achieved = choose_tiling(vgg_layer_mid, capacity_66k).traffic.total
+        assert achieved >= bound * 0.95  # never meaningfully below the bound
+        assert achieved <= bound * 1.35  # and within the paper's ~10-30% envelope
+
+    def test_traffic_at_capacity_wrapper(self, layer):
+        assert traffic_at_capacity(layer, 8192).total == choose_tiling(layer, 8192).traffic.total
+
+
+class TestBalanceProperty:
+    def test_chosen_tiling_balances_input_and_weight_traffic(self, vgg_layer_mid, capacity_66k):
+        traffic = choose_tiling(vgg_layer_mid, capacity_66k).traffic
+        ratio = traffic.input_reads / traffic.weight_reads
+        # The paper's dataflow equalises input and weight loading volumes.
+        assert 0.4 < ratio < 2.5

@@ -1,0 +1,181 @@
+"""Tests for repro.core.pebble (red-blue pebble game substrate)."""
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.core.pebble import (
+    Dag,
+    PebbleGame,
+    build_conv_dag,
+    greedy_pebble_schedule,
+    theorem1_bound,
+    validate_s_partition,
+)
+
+
+@pytest.fixture
+def tiny_layer():
+    return ConvLayer("tiny", 1, 2, 4, 4, 2, 3, 3)
+
+
+@pytest.fixture
+def chain_dag():
+    dag = Dag()
+    dag.add_input("a")
+    dag.add_input("b")
+    dag.add_operation("c", ["a", "b"])
+    dag.add_operation("d", ["c"])
+    return dag
+
+
+class TestDag:
+    def test_duplicate_node_rejected(self, chain_dag):
+        with pytest.raises(ValueError):
+            chain_dag.add_input("a")
+
+    def test_unknown_operand_rejected(self, chain_dag):
+        with pytest.raises(ValueError):
+            chain_dag.add_operation("e", ["missing"])
+
+    def test_input_and_operation_nodes(self, chain_dag):
+        assert set(chain_dag.input_nodes) == {"a", "b"}
+        assert set(chain_dag.operation_nodes) == {"c", "d"}
+
+    def test_output_nodes(self, chain_dag):
+        assert chain_dag.output_nodes() == ["d"]
+
+    def test_topological_order_respects_dependencies(self, chain_dag):
+        order = chain_dag.topological_order()
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+    def test_successors(self, chain_dag):
+        successors = chain_dag.successors()
+        assert successors["a"] == ["c"]
+        assert successors["c"] == ["d"]
+        assert successors["d"] == []
+
+
+class TestConvDag:
+    def test_node_counts_match_lemma1(self, tiny_layer):
+        dag = build_conv_dag(tiny_layer)
+        internal = len(dag.operation_nodes)
+        assert internal == tiny_layer.dag_internal_nodes
+        assert len(dag.input_nodes) == tiny_layer.num_inputs + tiny_layer.num_weights
+
+    def test_outputs_count(self, tiny_layer):
+        dag = build_conv_dag(tiny_layer)
+        assert len(dag.output_nodes()) == tiny_layer.num_outputs
+
+    def test_rejects_huge_layers(self):
+        big = ConvLayer("big", 8, 64, 56, 56, 64, 3, 3)
+        with pytest.raises(ValueError):
+            build_conv_dag(big)
+
+    def test_rejects_padding(self):
+        padded = ConvLayer("p", 1, 1, 4, 4, 1, 3, 3, padding=1)
+        with pytest.raises(ValueError):
+            build_conv_dag(padded)
+
+
+class TestPebbleGame:
+    def test_compute_requires_operands_in_fast_memory(self, chain_dag):
+        game = PebbleGame(chain_dag, fast_slots=4)
+        with pytest.raises(RuntimeError):
+            game.compute("c")
+
+    def test_load_requires_blue_pebble(self, chain_dag):
+        game = PebbleGame(chain_dag, fast_slots=4)
+        with pytest.raises(RuntimeError):
+            game.load("c")
+
+    def test_store_requires_red_pebble(self, chain_dag):
+        game = PebbleGame(chain_dag, fast_slots=4)
+        with pytest.raises(RuntimeError):
+            game.store("a")
+
+    def test_manual_run_counts_io(self, chain_dag):
+        game = PebbleGame(chain_dag, fast_slots=4)
+        game.load("a")
+        game.load("b")
+        game.compute("c")
+        game.compute("d")
+        game.store("d")
+        result = game.result()
+        assert result.loads == 2
+        assert result.stores == 1
+        assert result.computes == 2
+        assert result.io == 3
+
+    def test_capacity_enforced(self, chain_dag):
+        game = PebbleGame(chain_dag, fast_slots=2)
+        game.load("a")
+        game.load("b")
+        with pytest.raises(RuntimeError):
+            game.compute("c")
+
+    def test_needs_two_slots(self, chain_dag):
+        with pytest.raises(ValueError):
+            PebbleGame(chain_dag, fast_slots=1)
+
+
+class TestGreedySchedule:
+    def test_chain_dag_minimal_io(self, chain_dag):
+        result = greedy_pebble_schedule(chain_dag, fast_slots=4)
+        assert result.computes == 2
+        assert result.loads == 2
+        assert result.stores == 1
+
+    def test_all_operations_computed(self, tiny_layer):
+        dag = build_conv_dag(tiny_layer)
+        result = greedy_pebble_schedule(dag, fast_slots=64)
+        # Every operation node is computed at least once (exactly once here).
+        assert result.computes == len(dag.operation_nodes)
+
+    def test_io_at_least_inputs_plus_outputs(self, tiny_layer):
+        dag = build_conv_dag(tiny_layer)
+        result = greedy_pebble_schedule(dag, fast_slots=64)
+        # Any legal execution loads the data it touches and stores every output.
+        assert result.stores >= tiny_layer.num_outputs
+        assert result.loads >= tiny_layer.num_weights
+
+    def test_smaller_memory_never_reduces_io(self, tiny_layer):
+        dag = build_conv_dag(tiny_layer)
+        io_small = greedy_pebble_schedule(dag, fast_slots=8).io
+        io_large = greedy_pebble_schedule(dag, fast_slots=256).io
+        assert io_small >= io_large
+
+
+class TestSPartition:
+    def test_valid_partition(self, chain_dag):
+        assert validate_s_partition(chain_dag, [{"c", "d"}], capacity=2)
+
+    def test_partition_must_cover_all_operations(self, chain_dag):
+        assert not validate_s_partition(chain_dag, [{"c"}], capacity=2)
+
+    def test_partition_must_be_disjoint(self, chain_dag):
+        assert not validate_s_partition(chain_dag, [{"c", "d"}, {"d"}], capacity=2)
+
+    def test_dominator_capacity_enforced(self, chain_dag):
+        # The subset {c} needs both inputs as its dominator set: capacity 1 fails.
+        assert not validate_s_partition(chain_dag, [{"c"}, {"d"}], capacity=1)
+        assert validate_s_partition(chain_dag, [{"c"}, {"d"}], capacity=2)
+
+    def test_cyclic_partition_rejected(self):
+        dag = Dag()
+        dag.add_input("a")
+        dag.add_operation("b", ["a"])
+        dag.add_operation("c", ["b"])
+        dag.add_operation("d", ["c", "a"])
+        dag.add_operation("e", ["d", "b"])
+        # {b, d} and {c, e} depend on each other both ways -> cycle.
+        assert not validate_s_partition(dag, [{"b", "d"}, {"c", "e"}], capacity=4)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        assert theorem1_bound(10, 5) == 40
+
+    def test_bound_never_negative(self):
+        assert theorem1_bound(10, 0) == 0

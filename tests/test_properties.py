@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.layer import ConvLayer
+from repro.core.lower_bound import (
+    ideal_traffic,
+    naive_traffic,
+    practical_lower_bound,
+    theorem2_lower_bound,
+)
+from repro.core.mm_conversion import conv_to_mm_shape, reference_convolution, unfolding_expansion
+from repro.core.matmul import blocked_mm_traffic, optimal_block_sizes
+from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.tiling import Tiling
+from repro.core.traffic import TrafficBreakdown
+
+
+@st.composite
+def conv_layers(draw, max_spatial=24, max_channels=24, max_batch=3):
+    """Random valid convolutional layers."""
+    kernel_h = draw(st.integers(1, 5))
+    kernel_w = draw(st.integers(1, 5))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 1))
+    in_h = draw(st.integers(max(kernel_h, 3), max_spatial))
+    in_w = draw(st.integers(max(kernel_w, 3), max_spatial))
+    return ConvLayer(
+        name="prop",
+        batch=draw(st.integers(1, max_batch)),
+        in_channels=draw(st.integers(1, max_channels)),
+        in_height=in_h,
+        in_width=in_w,
+        out_channels=draw(st.integers(1, max_channels)),
+        kernel_height=kernel_h,
+        kernel_width=kernel_w,
+        stride=stride,
+        padding=padding,
+    )
+
+
+@st.composite
+def tilings(draw):
+    return Tiling(
+        b=draw(st.integers(1, 4)),
+        z=draw(st.integers(1, 32)),
+        y=draw(st.integers(1, 16)),
+        x=draw(st.integers(1, 16)),
+        k=draw(st.integers(1, 8)),
+    )
+
+
+class TestLayerProperties:
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_shape_and_volume_consistency(self, layer):
+        assert layer.out_height >= 1 and layer.out_width >= 1
+        assert layer.macs == layer.num_outputs * layer.in_channels * \
+            layer.kernel_height * layer.kernel_width
+        assert layer.window_reuse >= 1.0
+
+    @given(conv_layers())
+    @settings(max_examples=60, deadline=None)
+    def test_unfolding_expansion_bounded(self, layer):
+        expansion = unfolding_expansion(layer)
+        assert expansion > 0
+        if layer.padding == 0:
+            # Without padding no input can appear in more than Wk*Hk windows.
+            assert expansion <= layer.kernel_height * layer.kernel_width + 1e-9
+        assert conv_to_mm_shape(layer).flops == layer.macs
+
+
+class TestBoundProperties:
+    @given(conv_layers(), st.integers(64, 1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_ordering(self, layer, capacity):
+        theorem2 = theorem2_lower_bound(layer, capacity)
+        practical = practical_lower_bound(layer, capacity)
+        assert practical >= theorem2
+        assert practical >= ideal_traffic(layer)
+        assert naive_traffic(layer) >= theorem2
+
+    @given(conv_layers(), st.integers(64, 1 << 16))
+    @settings(max_examples=40, deadline=None)
+    def test_bound_monotone_in_memory(self, layer, capacity):
+        assert practical_lower_bound(layer, 4 * capacity) <= practical_lower_bound(layer, capacity) + 1e-9
+
+
+class TestDataflowProperties:
+    @given(conv_layers(), tilings())
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_at_least_ideal_and_counts_outputs_once(self, layer, tiling):
+        traffic = dataflow_traffic(layer, tiling)
+        assert traffic.output_writes == layer.num_outputs
+        assert traffic.weight_reads >= layer.num_weights - 1e-9
+        assert traffic.input_reads > 0
+        if layer.stride == 1:
+            # With unit stride every input participates in some window, so the
+            # traffic cannot fall below the touch-everything-once minimum.
+            assert traffic.total >= ideal_traffic(layer) - 1e-9
+
+    @given(conv_layers(), st.integers(32, 1 << 16))
+    @settings(max_examples=40, deadline=None)
+    def test_chosen_tiling_fits_and_is_reasonable(self, layer, capacity):
+        choice = choose_tiling(layer, capacity)
+        assert choice.tiling.on_chip_footprint(layer) <= capacity
+        assert choice.traffic.total >= layer.num_weights + layer.num_outputs - 1e-9
+        if layer.stride == 1:
+            assert choice.traffic.total >= ideal_traffic(layer) - 1e-9
+        assert choice.traffic.total <= naive_traffic(layer) + layer.num_outputs
+
+
+class TestMatMulProperties:
+    @given(st.integers(1, 64), st.integers(1, 32), st.integers(1, 64), st.integers(8, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_mm_reads_each_matrix_at_least_once(self, m, kk, n, fast):
+        block_m, block_n = optimal_block_sizes(m, kk, n, fast)
+        traffic = blocked_mm_traffic(m, kk, n, block_m, block_n)
+        assert traffic.a_reads >= m * kk
+        assert traffic.b_reads >= kk * n
+        assert traffic.c_writes == m * n
+
+
+class TestTrafficProperties:
+    @given(st.lists(st.tuples(st.floats(0, 1e6), st.floats(0, 1e6), st.floats(0, 1e6),
+                              st.floats(0, 1e6)), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_is_associative_with_components(self, parts):
+        breakdowns = [TrafficBreakdown(*part) for part in parts]
+        total = TrafficBreakdown()
+        for item in breakdowns:
+            total = total + item
+        assert total.total == pytest.approx(sum(item.total for item in breakdowns))
+
+
+class TestFunctionalSimulatorProperty:
+    @given(conv_layers(max_spatial=10, max_channels=4, max_batch=2), tilings())
+    @settings(max_examples=15, deadline=None)
+    def test_functional_simulator_always_matches_reference(self, layer, tiling):
+        rng = np.random.default_rng(0)
+        inputs = rng.standard_normal(
+            (layer.batch, layer.in_channels, layer.in_height, layer.in_width)
+        )
+        weights = rng.standard_normal(
+            (layer.out_channels, layer.in_channels, layer.kernel_height, layer.kernel_width)
+        )
+        result = FunctionalSimulator().run(layer, tiling, inputs, weights)
+        reference = reference_convolution(inputs, weights, layer)
+        np.testing.assert_allclose(result.outputs, reference, rtol=1e-9, atol=1e-9)
+        analytic = dataflow_traffic(layer, tiling)
+        assert result.dram_input_reads == pytest.approx(analytic.input_reads)
+        assert result.dram_weight_reads == pytest.approx(analytic.weight_reads)

@@ -1,0 +1,88 @@
+"""Tests for the text report helpers and the CLI."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_dict_rows,
+    format_energy_report,
+    format_gbuf_dram_ratio,
+    format_memory_sweep,
+    format_table,
+)
+from repro.cli import build_parser, main
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text
+        assert lines[0].startswith("name")
+
+    def test_format_dict_rows_defaults_to_keys(self):
+        text = format_dict_rows([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}])
+        assert "a" in text and "b" in text and "4.500" in text
+
+    def test_format_dict_rows_empty(self):
+        assert format_dict_rows([]) == "(no data)"
+
+    def test_format_memory_sweep(self):
+        sweep = {"capacities_kib": [16, 32], "series": {"Ours": [1.0, 0.5], "Lower bound": [0.9, 0.4]}}
+        text = format_memory_sweep(sweep)
+        assert "16KB" in text and "Ours" in text
+
+    def test_format_energy_report(self):
+        report = {
+            "lower_bounds": [{"capacity_words": 1024, "pj_per_mac": 5.0, "components_pj_per_mac": {}}],
+            "implementations": [
+                {
+                    "implementation": "implementation-1",
+                    "pj_per_mac": 8.0,
+                    "gap": 0.6,
+                    "components_pj_per_mac": {"DRAM": 2.0, "MAC units": 4.0},
+                    "lower_bound_pj_per_mac": 5.0,
+                    "on_chip_pj_per_mac": 6.0,
+                    "eyeriss_on_chip_ratio": 3.0,
+                }
+            ],
+        }
+        text = format_energy_report(report)
+        assert "implementation-1" in text and "60%" in text
+
+    def test_format_gbuf_dram_ratio(self):
+        ratio = {
+            "implementation": "implementation-1",
+            "inputs": {"dram_read_mb": 10, "gbuf_read_mb": 16, "gbuf_write_mb": 11,
+                       "read_ratio": 1.6, "write_ratio": 1.1},
+            "weights": {"dram_read_mb": 5, "gbuf_read_mb": 5, "gbuf_write_mb": 5,
+                        "read_ratio": 1.0, "write_ratio": 1.0},
+            "outputs": {"dram_write_mb": 3, "gbuf_read_mb": 0, "gbuf_write_mb": 0},
+            "overall": {"gbuf_read_over_dram_read": 1.4, "gbuf_write_over_dram_read": 1.07},
+        }
+        text = format_gbuf_dram_ratio(ratio)
+        assert "1.60x" in text and "implementation-1" in text
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "implementation-1" in out
+        assert "66.5" in out
+
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "427.9" in out
+        assert "mac" in out

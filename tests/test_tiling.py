@@ -1,0 +1,96 @@
+"""Tests for repro.core.tiling."""
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.core.tiling import Tiling
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 2, 8, 20, 20, 16, 3, 3, stride=1, padding=0)
+
+
+class TestTilingBasics:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Tiling(b=0, z=1, y=1, x=1)
+
+    def test_clip_respects_layer_dimensions(self, layer):
+        tiling = Tiling(b=10, z=100, y=100, x=100, k=100).clip(layer)
+        assert tiling.b == layer.batch
+        assert tiling.z == layer.out_channels
+        assert tiling.y == layer.out_height
+        assert tiling.x == layer.out_width
+        assert tiling.k == layer.in_channels
+
+    def test_clip_keeps_small_tiling(self, layer):
+        tiling = Tiling(b=1, z=4, y=3, x=3).clip(layer)
+        assert (tiling.b, tiling.z, tiling.y, tiling.x) == (1, 4, 3, 3)
+
+    def test_output_block_size_and_u(self):
+        tiling = Tiling(b=2, z=4, y=3, x=5)
+        assert tiling.u() == 2 * 3 * 5
+        assert tiling.output_block_size() == 2 * 3 * 5 * 4
+
+    def test_describe(self):
+        assert "b=2" in Tiling(b=2, z=4, y=3, x=5).describe()
+
+
+class TestInputGeometry:
+    def test_input_rows_cols_unit_stride(self, layer):
+        tiling = Tiling(b=1, z=1, y=4, x=6)
+        assert tiling.input_rows(layer) == 4 - 1 + 3
+        assert tiling.input_cols(layer) == 6 - 1 + 3
+
+    def test_input_rows_cols_stride_two(self):
+        layer = ConvLayer("l", 1, 1, 21, 21, 1, 3, 3, stride=2)
+        tiling = Tiling(b=1, z=1, y=4, x=4)
+        assert tiling.input_rows(layer) == (4 - 1) * 2 + 3
+        assert tiling.input_patch(layer) == 9 * 9
+
+    def test_iteration_input_words(self, layer):
+        tiling = Tiling(b=2, z=4, y=3, x=3, k=2)
+        assert tiling.iteration_input_words(layer) == 2 * 5 * 5 * 2
+
+    def test_iteration_weight_words(self, layer):
+        tiling = Tiling(b=1, z=4, y=3, x=3, k=2)
+        assert tiling.iteration_weight_words(layer) == 4 * 2 * 9
+
+    def test_staged_weight_words_is_one_pass(self, layer):
+        tiling = Tiling(b=1, z=4, y=3, x=3, k=2)
+        assert tiling.staged_weight_words() == 8
+
+    def test_staged_input_words_equals_iteration_inputs(self, layer):
+        tiling = Tiling(b=2, z=4, y=3, x=3, k=1)
+        assert tiling.staged_input_words(layer) == tiling.iteration_input_words(layer)
+
+    def test_footprint_dominated_by_psums(self, layer):
+        tiling = Tiling(b=1, z=16, y=10, x=10)
+        footprint = tiling.on_chip_footprint(layer)
+        assert footprint >= tiling.output_block_size()
+        assert footprint == (
+            tiling.output_block_size()
+            + tiling.staged_input_words(layer)
+            + tiling.staged_weight_words()
+        )
+
+
+class TestBlockCounts:
+    def test_exact_division(self, layer):
+        tiling = Tiling(b=1, z=4, y=5, x=10)
+        assert tiling.block_counts(layer) == (2, 4, 4, 2)
+        assert tiling.num_blocks(layer) == 64
+
+    def test_ceiling_division(self, layer):
+        tiling = Tiling(b=2, z=5, y=7, x=18)
+        assert tiling.block_counts(layer) == (1, 4, 3, 1)
+
+    def test_iterations_per_block(self, layer):
+        assert Tiling(b=1, z=1, y=1, x=1, k=1).iterations_per_block(layer) == 8
+        assert Tiling(b=1, z=1, y=1, x=1, k=3).iterations_per_block(layer) == 3
+
+    def test_balance_ratio_unity_when_balanced(self):
+        layer = ConvLayer("l", 1, 8, 40, 40, 16, 3, 3)
+        tiling = Tiling(b=1, z=4, y=6, x=6)
+        assert tiling.balance_ratio(layer) == pytest.approx(36 / (9 * 4))

@@ -1,0 +1,50 @@
+"""Tests for repro.core.traffic."""
+
+import pytest
+
+from repro.core.traffic import BYTES_PER_WORD, TrafficBreakdown, sum_traffic
+
+
+class TestTrafficBreakdown:
+    def test_defaults_are_zero(self):
+        traffic = TrafficBreakdown()
+        assert traffic.total == 0
+        assert traffic.reads == 0
+        assert traffic.writes == 0
+
+    def test_totals(self):
+        traffic = TrafficBreakdown(input_reads=10, weight_reads=5, output_reads=2, output_writes=3)
+        assert traffic.reads == 17
+        assert traffic.writes == 3
+        assert traffic.total == 20
+        assert traffic.output_traffic == 5
+        assert traffic.total_bytes == 20 * BYTES_PER_WORD
+
+    def test_addition(self):
+        a = TrafficBreakdown(input_reads=1, weight_reads=2, output_reads=3, output_writes=4)
+        b = TrafficBreakdown(input_reads=10, weight_reads=20, output_reads=30, output_writes=40)
+        combined = a + b
+        assert combined.input_reads == 11
+        assert combined.weight_reads == 22
+        assert combined.output_reads == 33
+        assert combined.output_writes == 44
+
+    def test_addition_with_wrong_type(self):
+        with pytest.raises(TypeError):
+            TrafficBreakdown() + 3
+
+    def test_scaled(self):
+        traffic = TrafficBreakdown(input_reads=10, weight_reads=4, output_writes=2)
+        half = traffic.scaled(0.5)
+        assert half.input_reads == 5
+        assert half.weight_reads == 2
+        assert half.output_writes == 1
+
+    def test_sum_traffic(self):
+        parts = [TrafficBreakdown(input_reads=1), TrafficBreakdown(weight_reads=2),
+                 TrafficBreakdown(output_writes=3)]
+        total = sum_traffic(parts)
+        assert total.total == 6
+
+    def test_sum_traffic_empty(self):
+        assert sum_traffic([]).total == 0

@@ -1,0 +1,103 @@
+"""Tests for the workload definitions."""
+
+import pytest
+
+from repro.core.layer import total_macs
+from repro.workloads.alexnet import alexnet_conv_layers
+from repro.workloads.generator import random_layer, random_network, small_test_layers
+from repro.workloads.resnet import resnet18_conv_layers
+from repro.workloads.vgg import PAPER_BATCH_SIZE, vgg16_conv_layers, vgg16_fc_layers, vgg16_layer
+
+import random
+
+
+class TestVGG16:
+    def test_thirteen_conv_layers(self):
+        assert len(vgg16_conv_layers()) == 13
+
+    def test_default_batch_matches_paper(self):
+        assert all(layer.batch == PAPER_BATCH_SIZE for layer in vgg16_conv_layers())
+
+    def test_all_3x3_unit_stride_padded(self):
+        for layer in vgg16_conv_layers():
+            assert (layer.kernel_height, layer.kernel_width) == (3, 3)
+            assert layer.stride == 1 and layer.padding == 1
+            assert layer.out_height == layer.in_height
+
+    def test_channel_progression(self):
+        layers = vgg16_conv_layers()
+        assert layers[0].in_channels == 3
+        assert layers[0].out_channels == 64
+        assert layers[-1].out_channels == 512
+
+    def test_total_macs_per_image(self):
+        # VGG-16 conv layers are ~15.3 GMACs per image.
+        macs = total_macs(vgg16_conv_layers(batch=1))
+        assert 14e9 < macs < 16.5e9
+
+    def test_layer_lookup_by_index(self):
+        assert vgg16_layer(1).name == "conv1_1"
+        assert vgg16_layer(13).name == "conv5_3"
+        with pytest.raises(IndexError):
+            vgg16_layer(14)
+
+    def test_fc_layers(self):
+        fcs = vgg16_fc_layers()
+        assert len(fcs) == 3
+        assert all(layer.window_reuse == 1.0 for layer in fcs)
+        assert fcs[0].in_channels == 25088
+
+
+class TestAlexNet:
+    def test_five_layers(self):
+        assert len(alexnet_conv_layers()) == 5
+
+    def test_first_layer_output(self):
+        conv1 = alexnet_conv_layers()[0]
+        assert conv1.out_height == 55
+        assert conv1.window_reuse == pytest.approx(121 / 16)
+
+    def test_total_macs_reasonable(self):
+        macs = total_macs(alexnet_conv_layers(batch=1))
+        assert 0.6e9 < macs < 1.5e9
+
+
+class TestResNet18:
+    def test_layer_count(self):
+        layers = resnet18_conv_layers()
+        assert len(layers) == 20  # 1 stem + 16 block convs + 3 shortcuts
+
+    def test_spatial_chain_is_consistent(self):
+        layers = resnet18_conv_layers()
+        stem = layers[0]
+        assert stem.out_height == 112
+        final = [layer for layer in layers if layer.name == "layer4_block2_conv2"][0]
+        assert final.out_height == 7
+
+    def test_shortcuts_are_1x1(self):
+        shortcuts = [layer for layer in resnet18_conv_layers() if "shortcut" in layer.name]
+        assert len(shortcuts) == 3
+        assert all(layer.kernel_height == 1 and layer.window_reuse == 1.0 for layer in shortcuts)
+
+
+class TestGenerator:
+    def test_random_layer_is_valid(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            layer = random_layer(rng)
+            assert layer.out_height >= 1 and layer.out_width >= 1
+            assert layer.macs > 0
+
+    def test_random_network_reproducible(self):
+        a = random_network(seed=7, depth=4)
+        b = random_network(seed=7, depth=4)
+        assert [layer.describe() for layer in a] == [layer.describe() for layer in b]
+
+    def test_random_network_seeds_differ(self):
+        a = random_network(seed=1, depth=4)
+        b = random_network(seed=2, depth=4)
+        assert [l.describe() for l in a] != [l.describe() for l in b]
+
+    def test_small_test_layers_are_small(self):
+        for layer in small_test_layers():
+            assert layer.macs < 300_000
