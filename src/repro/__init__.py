@@ -10,6 +10,8 @@ Public API overview
   communication-optimal tiling and its DRAM traffic.
 * :mod:`repro.dataflows` -- the Fig. 12 baseline dataflows and the cross-
   dataflow "found minimum" search.
+* :mod:`repro.engine` -- the parallel, memoized :class:`SearchEngine` that
+  deduplicates tiling searches and fans them out over worker processes.
 * :mod:`repro.arch` -- the accelerator architecture model (Table I
   implementations, access counting, cycles, utilisation).
 * :mod:`repro.energy` -- the Table II energy model and the DRAM model.
@@ -45,9 +47,10 @@ from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
 from repro.arch.config import AcceleratorConfig, PAPER_IMPLEMENTATIONS, paper_implementation
 from repro.arch.accelerator import AcceleratorModel
 from repro.energy.model import EnergyModel
+from repro.engine import SearchEngine, get_default_engine, set_default_engine
 from repro.workloads.vgg import vgg16_conv_layers
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConvLayer",
@@ -65,6 +68,9 @@ __all__ = [
     "paper_implementation",
     "AcceleratorModel",
     "EnergyModel",
+    "SearchEngine",
+    "get_default_engine",
+    "set_default_engine",
     "vgg16_conv_layers",
     "__version__",
 ]

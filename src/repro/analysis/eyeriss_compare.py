@@ -13,6 +13,7 @@ from repro.analysis.sweep import words_to_mb
 from repro.core.layer import kib_to_words
 from repro.core.lower_bound import practical_lower_bound
 from repro.dataflows.registry import get_dataflow
+from repro.engine import get_default_engine
 from repro.eyeriss.model import (
     EyerissModel,
     EYERISS_REPORTED_VGG16_DRAM_MB,
@@ -27,20 +28,25 @@ EYERISS_EFFECTIVE_KIB = 173.5
 FLEXFLOW_REPORTED_DRAM_PER_MAC = 0.0049
 
 
-def eyeriss_comparison(layers: list = None, capacity_kib: float = EYERISS_EFFECTIVE_KIB) -> dict:
+def eyeriss_comparison(
+    layers: list = None, capacity_kib: float = EYERISS_EFFECTIVE_KIB, engine=None
+) -> dict:
     """Build the Fig. 15 per-layer series and the Table III summary."""
     if layers is None:
         layers = vgg16_conv_layers()
+    if engine is None:
+        engine = get_default_engine()
     capacity_words = kib_to_words(capacity_kib)
     ours = get_dataflow("Ours")
     eyeriss = EyerissModel()
+    our_results = engine.per_layer_results(layers, capacity_words, ours)
 
     per_layer = []
     totals = {"lower_bound": 0.0, "ours": 0.0, "eyeriss_uncompressed": 0.0, "eyeriss_compressed": 0.0}
     total_macs = 0
     for index, layer in enumerate(layers, start=1):
         bound = practical_lower_bound(layer, capacity_words)
-        our_total = ours.search(layer, capacity_words).total
+        our_total = our_results[index - 1].total
         eyeriss_result = eyeriss.run_layer(layer)
         uncompressed = eyeriss_result.dram.total
         ratio = (

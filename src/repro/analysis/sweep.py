@@ -14,7 +14,7 @@ from repro.core.layer import ConvLayer, kib_to_words
 from repro.core.lower_bound import practical_lower_bound, reg_lower_bound
 from repro.core.traffic import BYTES_PER_WORD
 from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
-from repro.dataflows.search import found_minimum
+from repro.engine import get_default_engine
 from repro.eyeriss.model import EyerissModel
 from repro.workloads.vgg import vgg16_conv_layers
 
@@ -34,22 +34,43 @@ def memory_sweep(
     layers: list = None,
     dataflow_names: list = None,
     include_found_minimum: bool = True,
+    engine=None,
 ) -> dict:
     """DRAM access volume vs. effective on-chip memory size (Fig. 13).
 
     Returns ``{"capacities_kib": [...], "series": {name: [GB, ...]}}`` where
     every series is the whole-network DRAM volume in gigabytes, including the
     theoretical lower bound and (optionally) the per-layer found minimum.
+
+    The whole ``(dataflow, layer, capacity)`` grid is submitted to the
+    engine as one batch, so the exhaustive searches run at most once per
+    unique triple (the found minimum reuses the per-dataflow results) and a
+    parallel engine fans the entire sweep out across its workers.
     """
     if capacities_kib is None:
         capacities_kib = [16 * i for i in range(1, 17)]
     if layers is None:
         layers = vgg16_conv_layers()
+    if engine is None:
+        engine = get_default_engine()
     dataflows = (
         ALL_DATAFLOWS
         if dataflow_names is None
         else [get_dataflow(name) for name in dataflow_names]
     )
+
+    capacities_words = [kib_to_words(capacity_kib) for capacity_kib in capacities_kib]
+    grid = [
+        (capacity_index, dataflow_index, layer_index)
+        for capacity_index in range(len(capacities_words))
+        for dataflow_index in range(len(dataflows))
+        for layer_index in range(len(layers))
+    ]
+    tasks = [
+        (dataflows[dataflow_index], layers[layer_index], capacities_words[capacity_index])
+        for capacity_index, dataflow_index, layer_index in grid
+    ]
+    results = dict(zip(grid, engine.search_many(tasks)))
 
     series = {"Lower bound": []}
     for dataflow in dataflows:
@@ -57,24 +78,20 @@ def memory_sweep(
     if include_found_minimum:
         series["Found minimum"] = []
 
-    for capacity_kib in capacities_kib:
-        capacity_words = kib_to_words(capacity_kib)
+    for capacity_index, capacity_words in enumerate(capacities_words):
         bound = sum(practical_lower_bound(layer, capacity_words) for layer in layers)
         series["Lower bound"].append(words_to_mb(bound) / 1024.0)
-        # Per-layer, per-dataflow totals; the found minimum reuses them so the
-        # exhaustive searches run only once per (layer, capacity).
         per_layer_best = [float("inf")] * len(layers)
-        for dataflow in dataflows:
+        for dataflow_index, dataflow in enumerate(dataflows):
             totals = 0.0
             feasible = True
-            for index, layer in enumerate(layers):
-                try:
-                    layer_total = dataflow.search(layer, capacity_words).total
-                except ValueError:
+            for index, _layer in enumerate(layers):
+                result = results[(capacity_index, dataflow_index, index)]
+                if result is None:
                     feasible = False
                     continue
-                totals += layer_total
-                per_layer_best[index] = min(per_layer_best[index], layer_total)
+                totals += result.total
+                per_layer_best[index] = min(per_layer_best[index], result.total)
             series[dataflow.name].append(
                 words_to_mb(totals) / 1024.0 if feasible else float("nan")
             )
@@ -92,6 +109,7 @@ def per_layer_dram(
     layers: list = None,
     implementations: list = None,
     baseline_names: tuple = ("InR-A", "WtR-A"),
+    engine=None,
 ) -> list:
     """Per-layer DRAM access volumes at one memory size (Fig. 14).
 
@@ -108,13 +126,25 @@ def per_layer_dram(
             for config in PAPER_IMPLEMENTATIONS
             if abs(config.effective_on_chip_kib - capacity_kib) < 1.0
         ]
+    if engine is None:
+        engine = get_default_engine()
     capacity_words = kib_to_words(capacity_kib)
-    ours = get_dataflow("Ours")
+    dataflows = [get_dataflow("Ours")] + [get_dataflow(name) for name in baseline_names]
     models = [AcceleratorModel(config) for config in implementations]
 
+    searched = engine.search_many(
+        [(dataflow, layer, capacity_words) for layer in layers for dataflow in dataflows]
+    )
     rows = []
     for index, layer in enumerate(layers, start=1):
-        our_result = ours.search(layer, capacity_words)
+        window = searched[(index - 1) * len(dataflows) : index * len(dataflows)]
+        for dataflow, result in zip(dataflows, window):
+            if result is None:
+                raise ValueError(
+                    f"{dataflow.name}: no tiling of layer {layer.name!r} fits in "
+                    f"{capacity_words} on-chip words"
+                )
+        our_result = window[0]
         row = {
             "layer_index": index,
             "layer": layer.name,
@@ -127,9 +157,8 @@ def per_layer_dram(
         for model in models:
             result = model.run_layer(layer)
             row[f"{model.config.name}_mb"] = words_to_mb(result.dram.total)
-        for name in baseline_names:
-            baseline = get_dataflow(name)
-            row[f"{name}_mb"] = words_to_mb(baseline.search(layer, capacity_words).total)
+        for name, baseline_result in zip(baseline_names, window[1:]):
+            row[f"{name}_mb"] = words_to_mb(baseline_result.total)
         rows.append(row)
     return rows
 

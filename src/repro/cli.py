@@ -3,9 +3,15 @@
 Examples::
 
     repro-experiments fig13 --capacities 16 66.5 128 256
-    repro-experiments table3
+    repro-experiments fig13 --workers 8           # parallel tiling searches
+    repro-experiments table3 --no-cache           # force cold searches
+    repro-experiments all --cache-file /tmp/repro-cache.pkl
     repro-experiments fig18
-    repro-experiments all
+
+Every search-based experiment routes through a
+:class:`repro.engine.SearchEngine`; ``--workers`` fans the exhaustive tiling
+searches out across processes, ``--no-cache`` disables memoization, and
+``--cache-file`` persists results so later invocations start warm.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.analysis.sweep import (
 from repro.analysis.utilization_report import utilization_report
 from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.energy.model import OPERATION_ENERGY
+from repro.engine import SearchEngine, set_default_engine
 from repro.workloads.vgg import vgg16_conv_layers
 
 
@@ -47,20 +54,20 @@ def _print_table2() -> None:
         print(f"  {name:>14}: {value}")
 
 
-def _print_fig13(capacities) -> None:
-    sweep = memory_sweep(capacities_kib=capacities)
+def _print_fig13(capacities, engine) -> None:
+    sweep = memory_sweep(capacities_kib=capacities, engine=engine)
     print("Fig. 13: DRAM access volume (GB) vs effective on-chip memory")
     print(format_memory_sweep(sweep))
 
 
-def _print_fig14() -> None:
-    rows = per_layer_dram()
+def _print_fig14(engine) -> None:
+    rows = per_layer_dram(engine=engine)
     print("Fig. 14: per-layer DRAM access volume (MB) at 66.5 KB on-chip memory")
     print(format_dict_rows(rows))
 
 
-def _print_fig15_table3() -> None:
-    comparison = eyeriss_comparison()
+def _print_fig15_table3(engine) -> None:
+    comparison = eyeriss_comparison(engine=engine)
     print("Fig. 15: per-layer DRAM access (MB) at 173.5 KB effective on-chip memory")
     print(format_dict_rows(comparison["per_layer"]))
     print()
@@ -139,28 +146,79 @@ def build_parser() -> argparse.ArgumentParser:
         default=[16, 32, 64, 66.5, 128, 173.5, 256],
         help="effective on-chip memory sizes in KB for fig13",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the tiling searches (0 = all cores, default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable search memoization (every search runs cold)",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        help="pickle file to load the search cache from and save it back to",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache statistics after the run",
+    )
     return parser
+
+
+def build_engine(args) -> SearchEngine:
+    """Construct the search engine described by the parsed CLI options."""
+    if args.no_cache and args.cache_file:
+        raise SystemExit("--no-cache and --cache-file are mutually exclusive")
+    return SearchEngine(
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_path=args.cache_file,
+    )
 
 
 def main(argv: list = None) -> int:
     args = build_parser().parse_args(argv)
-    # Touch the workload once so argument errors surface before long runs.
-    vgg16_conv_layers()
-    if args.experiment == "all":
-        for name in ("table1", "table2", "fig13", "fig14", "fig15", "fig16",
-                     "table4", "fig17", "fig18", "fig19", "fig20"):
-            _dispatch(name, args)
-            print()
-        return 0
-    _dispatch(args.experiment, args)
+    engine = build_engine(args)
+    # Anything routed through repro.dataflows.search without an explicit
+    # engine (examples, ad-hoc imports) should see the same cache for the
+    # duration of the run; the previous default is restored afterwards so
+    # programmatic callers of main() keep their own engine.
+    previous_engine = set_default_engine(engine)
+    try:
+        # Touch the workload once so argument errors surface before long runs.
+        vgg16_conv_layers()
+        if args.experiment == "all":
+            for name in ("table1", "table2", "fig13", "fig14", "fig15", "fig16",
+                         "table4", "fig17", "fig18", "fig19", "fig20"):
+                _dispatch(name, args, engine)
+                print()
+        else:
+            _dispatch(args.experiment, args, engine)
+        if args.cache_file:
+            engine.save()
+        if args.stats:
+            print(f"engine: {engine.stats}", file=sys.stderr)
+    finally:
+        set_default_engine(previous_engine)
     return 0
 
 
-def _dispatch(name: str, args) -> None:
+#: Experiments whose drivers run tiling searches and take the engine.
+_SEARCH_EXPERIMENTS = frozenset({"fig14", "fig15", "table3"})
+
+
+def _dispatch(name: str, args, engine) -> None:
     if name == "fig13":
-        _print_fig13(args.capacities)
-        return
-    _EXPERIMENTS[name]()
+        _print_fig13(args.capacities, engine)
+    elif name in _SEARCH_EXPERIMENTS:
+        _EXPERIMENTS[name](engine)
+    else:
+        _EXPERIMENTS[name]()
 
 
 if __name__ == "__main__":

@@ -5,53 +5,54 @@ cheapest result.  The paper reports that this found minimum is only ~4.5 %
 below the proposed dataflow on average, so selecting among candidate
 dataflows (the FlexFlow / SmartShuttle approach) buys very little once the
 optimal tiling rule is known.
+
+All searches route through a :class:`repro.engine.SearchEngine`, which
+memoizes results across calls and can fan independent searches out over
+worker processes.  Passing ``engine=None`` uses the process-wide default
+engine (serial, in-memory cache).
 """
 
 from __future__ import annotations
 
 from repro.core.layer import ConvLayer
-from repro.core.traffic import TrafficBreakdown, sum_traffic
+from repro.core.traffic import TrafficBreakdown
 from repro.dataflows.base import DataflowResult
-from repro.dataflows.registry import ALL_DATAFLOWS
+from repro.engine import get_default_engine
 
 
-def found_minimum(layer: ConvLayer, capacity_words: int, dataflows=None) -> DataflowResult:
-    """Best (dataflow, tiling) pair for one layer under ``capacity_words``."""
-    if dataflows is None:
-        dataflows = ALL_DATAFLOWS
-    best = None
-    for dataflow in dataflows:
-        try:
-            result = dataflow.search(layer, capacity_words)
-        except ValueError:
-            # This dataflow has no tiling that fits (e.g. WtR-B with a huge
-            # kernel and a tiny buffer); it simply does not compete.
-            continue
-        if best is None or result.total < best.total:
-            best = result
-    if best is None:
-        raise ValueError(
-            f"no dataflow can execute layer {layer.name!r} within {capacity_words} words"
-        )
-    return best
+def found_minimum(
+    layer: ConvLayer, capacity_words: int, dataflows=None, engine=None
+) -> DataflowResult:
+    """Best (dataflow, tiling) pair for one layer under ``capacity_words``.
+
+    ``dataflows`` (default: the full registry) is passed through to the
+    engine, so custom candidate sets are honoured.  Dataflows that have no
+    feasible tiling under ``capacity_words`` (e.g. WtR-B with a huge kernel
+    and a tiny buffer) are *skipped*, not errors -- they simply do not
+    compete.  ``ValueError`` is raised only when every candidate is
+    infeasible.
+    """
+    if engine is None:
+        engine = get_default_engine()
+    return engine.found_minimum(layer, capacity_words, dataflows=dataflows)
 
 
-def network_traffic(layers: list, capacity_words: int, dataflow=None) -> TrafficBreakdown:
+def network_traffic(
+    layers: list, capacity_words: int, dataflow=None, engine=None
+) -> TrafficBreakdown:
     """Network-level DRAM traffic.
 
     With ``dataflow=None`` the per-layer found minimum is used (the best
     dataflow may differ layer to layer); otherwise the given dataflow is used
     for every layer.
     """
-    per_layer = []
-    for layer in layers:
-        if dataflow is None:
-            per_layer.append(found_minimum(layer, capacity_words).traffic)
-        else:
-            per_layer.append(dataflow.search(layer, capacity_words).traffic)
-    return sum_traffic(per_layer)
+    if engine is None:
+        engine = get_default_engine()
+    return engine.network_traffic(layers, capacity_words, dataflow=dataflow)
 
 
-def per_layer_results(layers: list, capacity_words: int, dataflow) -> list:
+def per_layer_results(layers: list, capacity_words: int, dataflow, engine=None) -> list:
     """Per-layer :class:`DataflowResult` list for one dataflow."""
-    return [dataflow.search(layer, capacity_words) for layer in layers]
+    if engine is None:
+        engine = get_default_engine()
+    return engine.per_layer_results(layers, capacity_words, dataflow)

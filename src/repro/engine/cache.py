@@ -1,0 +1,219 @@
+"""Result cache for exhaustive tiling searches.
+
+Every figure in this repository is assembled from the same primitive: the
+best :class:`~repro.dataflows.base.DataflowResult` of one dataflow on one
+layer under one on-chip capacity.  The cache deduplicates those searches
+behind a key built from the *shape* of the problem:
+
+``(dataflow signature, layer signature, capacity_words)``
+
+The layer signature deliberately excludes the layer *name* so that layers
+with identical shapes (VGG-16 repeats several) share one search; the engine
+re-labels cached results with the requesting layer's name on retrieval.
+The dataflow signature is the dataflow's figure name plus its public
+constructor state, so a custom-split ``OptimalDataflow`` never aliases the
+registry's free-split instance.
+
+Infeasible searches (the dataflow has no tiling that fits) are cached too,
+as the :data:`INFEASIBLE` sentinel -- re-proving infeasibility is exactly as
+expensive as a successful search.
+
+The cache can optionally persist to disk as a single pickle file, so
+repeated CLI / benchmark invocations skip the cold search entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+
+from repro.core.layer import ConvLayer
+
+#: Sentinel cached for (dataflow, layer, capacity) triples with no feasible
+#: tiling.  A plain string so that on-disk caches stay portable across runs.
+INFEASIBLE = "__infeasible__"
+
+#: On-disk payload marker; bump when the pickle layout itself changes.
+CACHE_FORMAT = "repro-search-cache-v1"
+
+
+def _code_version() -> str:
+    # Imported lazily: repro/__init__ imports repro.engine, so a top-level
+    # import here would be circular.
+    from repro import __version__
+
+    return __version__
+
+
+def layer_signature(layer: ConvLayer) -> tuple:
+    """Shape-only identity of a layer (the name is presentation, not shape)."""
+    return (
+        layer.batch,
+        layer.in_channels,
+        layer.in_height,
+        layer.in_width,
+        layer.out_channels,
+        layer.kernel_height,
+        layer.kernel_width,
+        layer.stride,
+        layer.padding,
+    )
+
+
+def dataflow_signature(dataflow) -> tuple:
+    """Identity of a dataflow: its figure name plus its constructor state.
+
+    Including the instance state distinguishes e.g. a fixed-split
+    ``OptimalDataflow(psum_words=...)`` from the registry's free-split one,
+    which share a ``name`` but search different tiling spaces.
+    """
+    state = tuple(
+        sorted(
+            (key, value)
+            for key, value in vars(dataflow).items()
+            if not key.startswith("_")
+        )
+    )
+    return (dataflow.name,) + state
+
+
+def task_key(dataflow, layer: ConvLayer, capacity_words: int) -> tuple:
+    """Cache key for one search task.
+
+    ``capacity_words`` must be a whole number of words: silently truncating a
+    fractional capacity would alias distinct searches to one cache entry.
+    (KiB capacities are converted with :func:`repro.core.layer.kib_to_words`.)
+    """
+    capacity = int(capacity_words)
+    if capacity != capacity_words:
+        raise ValueError(
+            f"capacity_words must be a whole word count, got {capacity_words!r}"
+        )
+    return (dataflow_signature(dataflow), layer_signature(layer), capacity)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`~repro.engine.engine.SearchEngine`.
+
+    ``hits + misses`` always equals the number of search tasks submitted:
+    a *miss* is a search that actually ran, a *hit* is a task served from the
+    cache or deduplicated against an identical task in the same batch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%} hit rate)"
+
+
+@dataclass
+class SearchCache:
+    """In-memory search-result store with optional pickle persistence.
+
+    The cache is dumb storage: keys are :func:`task_key` tuples and entries
+    are either a :class:`~repro.dataflows.base.DataflowResult` or
+    :data:`INFEASIBLE`.  Statistics live on the engine, which also decides
+    what counts as a hit.
+    """
+
+    path: str = None
+    _entries: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.path and os.path.exists(self.path):
+            # A stale, corrupt or version-mismatched cache file must never
+            # take the tool down: degrade to a cold cache and let the next
+            # save overwrite it.
+            try:
+                self.load(self.path)
+            except Exception as error:  # noqa: BLE001 - any unpickling failure
+                warnings.warn(f"starting cold: {error}", stacklevel=2)
+                self._entries.clear()
+
+    def get(self, key: tuple):
+        """Entry for ``key`` or ``None`` when absent (``INFEASIBLE`` is an entry)."""
+        return self._entries.get(key)
+
+    def store(self, key: tuple, entry) -> None:
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------- persistence
+
+    def load(self, path: str = None) -> int:
+        """Merge entries pickled at ``path`` into the cache; return the count.
+
+        The payload carries the package version that produced it: results are
+        functions of the traffic/search code, so entries written by any other
+        version are rejected (``ValueError``) rather than silently served.
+        """
+        path = path or self.path
+        if path is None:
+            raise ValueError("no cache path configured")
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            raise ValueError(f"corrupt search cache at {path!r}")
+        version = _code_version()
+        if payload.get("version") != version:
+            raise ValueError(
+                f"search cache at {path!r} was written by version "
+                f"{payload.get('version')!r}, not {version!r}; ignoring it"
+            )
+        self._entries.update(payload["entries"])
+        return len(payload["entries"])
+
+    def save(self, path: str = None) -> int:
+        """Atomically pickle all entries to ``path``; return the count."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no cache path configured")
+        payload = {
+            "format": CACHE_FORMAT,
+            "version": _code_version(),
+            "entries": self._entries,
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return len(self._entries)

@@ -1,0 +1,235 @@
+"""Parallel, memoized driver for the exhaustive tiling searches.
+
+``SearchEngine`` is the single entry point through which every consumer
+(:mod:`repro.dataflows.search`, :mod:`repro.analysis.sweep`, the reports,
+the CLI and the benchmarks) runs ``dataflow.search(layer, capacity)``:
+
+* results are memoized behind a :class:`~repro.engine.cache.SearchCache`
+  keyed by ``(dataflow signature, layer signature, capacity_words)``, with
+  hit/miss statistics and optional on-disk persistence;
+* independent tasks fan out across a :class:`~concurrent.futures.
+  ProcessPoolExecutor` when ``workers > 1``; with ``workers=1`` everything
+  runs serially in-process, so tests stay deterministic and debuggable.
+
+Cached results are bit-identical to direct ``dataflow.search`` calls: the
+engine stores the :class:`~repro.dataflows.base.DataflowResult` itself and
+only re-labels the layer name when a shape-equal layer with a different name
+hits the same entry.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+from repro.core.traffic import TrafficBreakdown, sum_traffic
+from repro.engine.cache import INFEASIBLE, CacheStats, SearchCache, task_key
+
+
+def _execute_search(dataflow, layer, capacity_words):
+    """Run one exhaustive search; map infeasibility to the cache sentinel.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it for workers.
+    """
+    try:
+        return dataflow.search(layer, capacity_words)
+    except ValueError:
+        return INFEASIBLE
+
+
+def resolve_workers(workers) -> int:
+    """Normalise a worker-count option (``None``/``0`` mean "all cores")."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 (or 0/None for all cores), got {workers}")
+    return workers
+
+
+class SearchEngine:
+    """Deduplicating, optionally parallel executor of tiling searches.
+
+    Parameters
+    ----------
+    workers:
+        Process count for batch searches.  ``1`` (the default) runs serially
+        in-process; ``None`` or ``0`` use every core.
+    cache:
+        Set to ``False`` to disable memoization entirely (every task then
+        counts as a miss and re-runs the search).
+    cache_path:
+        Optional pickle file for the cache.  Existing entries are loaded at
+        construction; call :meth:`save` to persist new ones.
+    """
+
+    def __init__(self, workers: int = 1, cache: bool = True, cache_path: str = None):
+        self.workers = resolve_workers(workers)
+        self.cache = SearchCache(path=cache_path) if cache else None
+        self.stats = CacheStats()
+
+    # ----------------------------------------------------------- single tasks
+
+    def try_search(self, dataflow, layer, capacity_words: int):
+        """Best result for one task, or ``None`` when no tiling fits."""
+        return self.search_many([(dataflow, layer, capacity_words)])[0]
+
+    def search(self, dataflow, layer, capacity_words: int):
+        """Best result for one task; raises ``ValueError`` when nothing fits."""
+        result = self.try_search(dataflow, layer, capacity_words)
+        if result is None:
+            raise ValueError(
+                f"{dataflow.name}: no tiling of layer {layer.name!r} fits in "
+                f"{capacity_words} on-chip words"
+            )
+        return result
+
+    # ------------------------------------------------------------ batch tasks
+
+    def search_many(self, tasks) -> list:
+        """Run ``(dataflow, layer, capacity_words)`` tasks, order-preserving.
+
+        Duplicate tasks (and tasks already cached) are searched only once;
+        infeasible tasks yield ``None`` in the result list.
+        """
+        tasks = list(tasks)
+        keys = [task_key(dataflow, layer, capacity) for dataflow, layer, capacity in tasks]
+        pending = {}
+        for key, task in zip(keys, tasks):
+            if self.cache is not None and key in self.cache:
+                self.stats.hits += 1
+            elif key in pending:
+                # Deduplicated against an identical task in this batch.
+                self.stats.hits += 1
+            else:
+                pending[key] = task
+                self.stats.misses += 1
+
+        fresh = self._execute(pending)
+        if self.cache is not None:
+            for key, entry in fresh.items():
+                self.cache.store(key, entry)
+
+        results = []
+        for key, (dataflow, layer, capacity) in zip(keys, tasks):
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is None:
+                entry = fresh[key]
+            if entry == INFEASIBLE:
+                results.append(None)
+            else:
+                # Re-label shape-equal layers and detach the mutable tiling
+                # dict so callers can never corrupt the cached entry.
+                results.append(
+                    replace(entry, layer_name=layer.name, tiling=dict(entry.tiling))
+                )
+        return results
+
+    def _execute(self, pending: dict) -> dict:
+        """Run the deduplicated ``{key: task}`` map, serially or in a pool."""
+        if not pending:
+            return {}
+        items = list(pending.items())
+        if self.workers == 1 or len(items) == 1:
+            return {
+                key: _execute_search(dataflow, layer, capacity)
+                for key, (dataflow, layer, capacity) in items
+            }
+        max_workers = min(self.workers, len(items))
+        chunksize = max(1, len(items) // (max_workers * 4))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            entries = pool.map(
+                _execute_search,
+                [task[0] for _, task in items],
+                [task[1] for _, task in items],
+                [task[2] for _, task in items],
+                chunksize=chunksize,
+            )
+            return {key: entry for (key, _), entry in zip(items, entries)}
+
+    # -------------------------------------------------- higher-level searches
+
+    def found_minimum(self, layer, capacity_words: int, dataflows=None):
+        """Best (dataflow, tiling) pair for one layer under ``capacity_words``.
+
+        Dataflows with no feasible tiling are skipped, not errors; a
+        ``ValueError`` is raised only when *every* candidate is infeasible.
+        """
+        if dataflows is None:
+            dataflows = self._all_dataflows()
+        results = self.search_many(
+            [(dataflow, layer, capacity_words) for dataflow in dataflows]
+        )
+        feasible = [result for result in results if result is not None]
+        if not feasible:
+            raise ValueError(
+                f"no dataflow can execute layer {layer.name!r} within "
+                f"{capacity_words} words"
+            )
+        return min(feasible, key=lambda result: result.total)
+
+    def network_traffic(self, layers: list, capacity_words: int, dataflow=None) -> TrafficBreakdown:
+        """Network-level DRAM traffic (found minimum unless ``dataflow`` given)."""
+        if dataflow is not None:
+            return sum_traffic(
+                [result.traffic for result in self.per_layer_results(layers, capacity_words, dataflow)]
+            )
+        dataflows = self._all_dataflows()
+        # One batch over the whole (layer x dataflow) grid so a parallel
+        # engine fans every search out at once.
+        results = self.search_many(
+            [
+                (candidate, layer, capacity_words)
+                for layer in layers
+                for candidate in dataflows
+            ]
+        )
+        per_layer = []
+        for index, layer in enumerate(layers):
+            window = results[index * len(dataflows) : (index + 1) * len(dataflows)]
+            feasible = [result for result in window if result is not None]
+            if not feasible:
+                raise ValueError(
+                    f"no dataflow can execute layer {layer.name!r} within "
+                    f"{capacity_words} words"
+                )
+            per_layer.append(min(feasible, key=lambda result: result.total).traffic)
+        return sum_traffic(per_layer)
+
+    def per_layer_results(self, layers: list, capacity_words: int, dataflow) -> list:
+        """Per-layer :class:`DataflowResult` list for one dataflow (all must fit)."""
+        results = self.search_many([(dataflow, layer, capacity_words) for layer in layers])
+        for layer, result in zip(layers, results):
+            if result is None:
+                raise ValueError(
+                    f"{dataflow.name}: no tiling of layer {layer.name!r} fits in "
+                    f"{capacity_words} on-chip words"
+                )
+        return results
+
+    @staticmethod
+    def _all_dataflows():
+        # Imported lazily: repro.dataflows.search routes through this module,
+        # so a top-level import would be circular.
+        from repro.dataflows.registry import ALL_DATAFLOWS
+
+        return ALL_DATAFLOWS
+
+    # ------------------------------------------------------------ maintenance
+
+    def save(self, path: str = None) -> int:
+        """Persist the cache to disk; returns the number of entries written."""
+        if self.cache is None:
+            return 0
+        return self.cache.save(path)
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset the statistics."""
+        if self.cache is not None:
+            self.cache.clear()
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        cached = len(self.cache) if self.cache is not None else "off"
+        return f"<SearchEngine workers={self.workers} cache={cached} {self.stats}>"

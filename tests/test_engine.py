@@ -1,0 +1,314 @@
+"""Tests for the parallel memoized search engine (repro.engine)."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import memory_sweep, words_to_mb
+from repro.core.layer import ConvLayer, kib_to_words
+from repro.core.lower_bound import practical_lower_bound
+from repro.dataflows.ours import OptimalDataflow
+from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
+from repro.engine import (
+    SearchEngine,
+    dataflow_signature,
+    get_default_engine,
+    layer_signature,
+    resolve_workers,
+    set_default_engine,
+    task_key,
+)
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 2, 32, 28, 28, 64, 3, 3, stride=1, padding=1)
+
+
+@pytest.fixture
+def small_layers():
+    return [
+        ConvLayer("a", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1),
+        ConvLayer("b", 1, 16, 14, 14, 16, 3, 3, stride=1, padding=1),
+        ConvLayer("c", 2, 8, 10, 10, 8, 3, 3, stride=2, padding=0),
+    ]
+
+
+class TestSignatures:
+    def test_layer_signature_ignores_name(self, layer):
+        twin = ConvLayer("other-name", 2, 32, 28, 28, 64, 3, 3, stride=1, padding=1)
+        assert layer_signature(layer) == layer_signature(twin)
+
+    def test_layer_signature_distinguishes_shapes(self, layer):
+        other = ConvLayer("l", 2, 32, 28, 28, 64, 3, 3, stride=2, padding=1)
+        assert layer_signature(layer) != layer_signature(other)
+
+    def test_dataflow_signature_includes_constructor_state(self):
+        free = OptimalDataflow()
+        pinned = OptimalDataflow(psum_words=4096, input_buffer_words=512, weight_buffer_words=64)
+        assert dataflow_signature(free) != dataflow_signature(pinned)
+        assert dataflow_signature(free)[0] == "Ours"
+
+    def test_task_key_differs_by_capacity(self, layer):
+        ours = get_dataflow("Ours")
+        assert task_key(ours, layer, 8192) != task_key(ours, layer, 16384)
+
+    def test_task_key_accepts_integral_floats_only(self, layer):
+        ours = get_dataflow("Ours")
+        assert task_key(ours, layer, 8192.0) == task_key(ours, layer, 8192)
+        with pytest.raises(ValueError):
+            task_key(ours, layer, 8192.5)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestCacheAccounting:
+    def test_hit_miss_accounting_single(self, layer):
+        engine = SearchEngine()
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        assert engine.stats.misses == 1 and engine.stats.hits == 0
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        assert engine.stats.misses == 1 and engine.stats.hits == 1
+        assert engine.stats.hit_rate == pytest.approx(0.5)
+
+    def test_batch_duplicates_count_as_hits(self, layer):
+        engine = SearchEngine()
+        ours = get_dataflow("Ours")
+        results = engine.search_many([(ours, layer, 8192)] * 4)
+        assert engine.stats.misses == 1 and engine.stats.hits == 3
+        assert all(result == results[0] for result in results)
+
+    def test_lookups_invariant(self, small_layers):
+        engine = SearchEngine()
+        tasks = [(d, l, 16384) for d in ALL_DATAFLOWS[:3] for l in small_layers]
+        engine.search_many(tasks)
+        engine.search_many(tasks)
+        assert engine.stats.lookups == 2 * len(tasks)
+        assert engine.stats.misses == len(tasks)
+
+    def test_shape_equal_layers_share_entries(self, layer):
+        engine = SearchEngine()
+        twin = ConvLayer("twin", 2, 32, 28, 28, 64, 3, 3, stride=1, padding=1)
+        first = engine.search(get_dataflow("InR-C"), layer, 8192)
+        second = engine.search(get_dataflow("InR-C"), twin, 8192)
+        assert engine.stats.misses == 1 and engine.stats.hits == 1
+        assert second.layer_name == "twin"
+        assert second.traffic == first.traffic
+        assert second.tiling == first.tiling
+
+    def test_no_cache_engine_counts_only_misses(self, layer):
+        engine = SearchEngine(cache=False)
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        assert engine.stats.misses == 2 and engine.stats.hits == 0
+        assert engine.cache is None
+
+    def test_clear_resets_cache_and_stats(self, layer):
+        engine = SearchEngine()
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        engine.clear()
+        assert engine.stats.lookups == 0
+        assert len(engine.cache) == 0
+
+    def test_cached_tiling_is_detached(self, layer):
+        engine = SearchEngine()
+        first = engine.search(get_dataflow("Ours"), layer, 8192)
+        first.tiling["b"] = -999
+        second = engine.search(get_dataflow("Ours"), layer, 8192)
+        assert second.tiling["b"] != -999
+
+
+class TestInfeasibility:
+    def test_try_search_returns_none_and_caches(self):
+        engine = SearchEngine()
+        layer = ConvLayer("l", 1, 8, 20, 20, 16, 3, 3)
+        wtrb = get_dataflow("WtR-B")
+        assert engine.try_search(wtrb, layer, 0) is None
+        assert engine.try_search(wtrb, layer, 0) is None
+        assert engine.stats.misses == 1 and engine.stats.hits == 1
+
+    def test_search_raises_value_error(self):
+        engine = SearchEngine()
+        layer = ConvLayer("l", 1, 8, 20, 20, 16, 3, 3)
+        with pytest.raises(ValueError):
+            engine.search(get_dataflow("WtR-B"), layer, 0)
+
+    def test_found_minimum_skips_infeasible_dataflows(self):
+        engine = SearchEngine()
+        # At 400 words an 11x11 kernel leaves WtR-B with no feasible tiling;
+        # the infeasible candidate is skipped rather than raising.
+        big_kernel = ConvLayer("big-kernel", 1, 8, 32, 32, 8, 11, 11)
+        result = engine.found_minimum(
+            big_kernel, 400, dataflows=[get_dataflow("WtR-B"), get_dataflow("Ours")]
+        )
+        assert result.dataflow == "Ours"
+
+    def test_found_minimum_raises_when_nothing_fits(self):
+        engine = SearchEngine()
+        layer = ConvLayer("l", 1, 8, 20, 20, 16, 3, 3)
+        with pytest.raises(ValueError):
+            engine.found_minimum(layer, 0, dataflows=ALL_DATAFLOWS[1:3])
+
+
+class TestParallelParity:
+    def test_parallel_matches_serial(self, small_layers):
+        tasks = [(d, l, 16384) for d in ALL_DATAFLOWS for l in small_layers]
+        serial = SearchEngine(workers=1).search_many(tasks)
+        parallel = SearchEngine(workers=2).search_many(tasks)
+        assert serial == parallel
+
+    def test_parallel_memory_sweep_identical(self, small_layers):
+        serial = memory_sweep(
+            capacities_kib=[16, 32], layers=small_layers, engine=SearchEngine(workers=1)
+        )
+        parallel = memory_sweep(
+            capacities_kib=[16, 32], layers=small_layers, engine=SearchEngine(workers=2)
+        )
+        for name, values in serial["series"].items():
+            for left, right in zip(values, parallel["series"][name]):
+                assert (math.isnan(left) and math.isnan(right)) or left == right
+
+    def test_parallel_engine_still_caches(self, small_layers):
+        engine = SearchEngine(workers=2)
+        tasks = [(d, l, 16384) for d in ALL_DATAFLOWS[:2] for l in small_layers]
+        engine.search_many(tasks)
+        engine.search_many(tasks)
+        assert engine.stats.misses == len(tasks)
+        assert engine.stats.hits == len(tasks)
+
+
+class TestPersistence:
+    def test_save_and_reload(self, tmp_path, layer):
+        path = str(tmp_path / "cache.pkl")
+        cold = SearchEngine(cache_path=path)
+        result = cold.search(get_dataflow("Ours"), layer, 8192)
+        assert cold.save() == 1
+
+        warm = SearchEngine(cache_path=path)
+        reloaded = warm.search(get_dataflow("Ours"), layer, 8192)
+        assert warm.stats.misses == 0 and warm.stats.hits == 1
+        assert reloaded == result
+
+    def test_save_without_cache_is_noop(self):
+        assert SearchEngine(cache=False).save() == 0
+
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path, layer):
+        path = tmp_path / "cache.pkl"
+        path.write_text("not a pickle")
+        with pytest.warns(UserWarning, match="starting cold"):
+            engine = SearchEngine(cache_path=str(path))
+        engine.search(get_dataflow("Ours"), layer, 8192)
+        assert engine.stats.misses == 1
+        # Saving overwrites the corrupt file with a valid cache.
+        engine.save()
+        warm = SearchEngine(cache_path=str(path))
+        warm.search(get_dataflow("Ours"), layer, 8192)
+        assert warm.stats.hits == 1
+
+    def test_version_mismatched_cache_is_rejected(self, tmp_path, layer):
+        import pickle
+
+        from repro.engine.cache import CACHE_FORMAT
+
+        path = tmp_path / "cache.pkl"
+        cold = SearchEngine(cache_path=str(path))
+        cold.search(get_dataflow("Ours"), layer, 8192)
+        cold.save()
+        # Rewrite the payload as if an older package version produced it.
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["format"] == CACHE_FORMAT
+        payload["version"] = "0.0.0"
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with pytest.warns(UserWarning, match="written by version"):
+            stale = SearchEngine(cache_path=str(path))
+        stale.search(get_dataflow("Ours"), layer, 8192)
+        assert stale.stats.misses == 1, "stale entries must not be served"
+
+    def test_infeasible_entries_persist(self, tmp_path):
+        path = str(tmp_path / "cache.pkl")
+        layer = ConvLayer("l", 1, 8, 20, 20, 16, 3, 3)
+        cold = SearchEngine(cache_path=path)
+        assert cold.try_search(get_dataflow("WtR-B"), layer, 0) is None
+        cold.save()
+        warm = SearchEngine(cache_path=path)
+        assert warm.try_search(get_dataflow("WtR-B"), layer, 0) is None
+        assert warm.stats.misses == 0
+
+
+class TestDefaultEngine:
+    def test_default_engine_is_process_wide(self):
+        first = get_default_engine()
+        assert get_default_engine() is first
+
+    def test_set_default_engine_swaps_and_returns_previous(self):
+        previous = get_default_engine()
+        replacement = SearchEngine()
+        try:
+            assert set_default_engine(replacement) is previous
+            assert get_default_engine() is replacement
+        finally:
+            set_default_engine(previous)
+
+
+class TestMemorySweepRegression:
+    """The engine-backed sweep must equal the pre-refactor per-layer totals."""
+
+    @pytest.fixture(scope="class")
+    def subset_layers(self, vgg_layers):
+        return [vgg_layers[1], vgg_layers[7], vgg_layers[11]]
+
+    def test_equals_pre_refactor_totals(self, subset_layers):
+        capacities_kib = [32, 66.5, 128]
+        sweep = memory_sweep(
+            capacities_kib=capacities_kib,
+            layers=subset_layers,
+            engine=SearchEngine(),
+        )
+        # Pre-refactor reference: direct dataflow.search calls, accumulated
+        # per dataflow in layer order (the seed implementation's loop).
+        for index, capacity_kib in enumerate(capacities_kib):
+            capacity_words = kib_to_words(capacity_kib)
+            bound = sum(
+                practical_lower_bound(layer, capacity_words) for layer in subset_layers
+            )
+            assert sweep["series"]["Lower bound"][index] == words_to_mb(bound) / 1024.0
+            per_layer_best = [float("inf")] * len(subset_layers)
+            for dataflow in ALL_DATAFLOWS:
+                totals = 0.0
+                feasible = True
+                for layer_index, layer in enumerate(subset_layers):
+                    try:
+                        layer_total = dataflow.search(layer, capacity_words).total
+                    except ValueError:
+                        feasible = False
+                        continue
+                    totals += layer_total
+                    per_layer_best[layer_index] = min(
+                        per_layer_best[layer_index], layer_total
+                    )
+                expected = words_to_mb(totals) / 1024.0 if feasible else float("nan")
+                actual = sweep["series"][dataflow.name][index]
+                if math.isnan(expected):
+                    assert math.isnan(actual)
+                else:
+                    assert actual == expected
+            minimum = sum(value for value in per_layer_best if value != float("inf"))
+            assert sweep["series"]["Found minimum"][index] == words_to_mb(minimum) / 1024.0
+
+    def test_engine_results_match_direct_search(self, subset_layers):
+        engine = SearchEngine()
+        capacity_words = kib_to_words(66.5)
+        for dataflow in (get_dataflow("Ours"), get_dataflow("InR-C")):
+            for layer in subset_layers:
+                direct = dataflow.search(layer, capacity_words)
+                via_engine = engine.search(dataflow, layer, capacity_words)
+                assert via_engine == direct

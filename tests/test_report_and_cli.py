@@ -9,7 +9,7 @@ from repro.analysis.report import (
     format_memory_sweep,
     format_table,
 )
-from repro.cli import build_parser, main
+from repro.cli import build_engine, build_parser, main
 
 
 class TestFormatTable:
@@ -86,3 +86,54 @@ class TestCli:
         out = capsys.readouterr().out
         assert "427.9" in out
         assert "mac" in out
+
+
+class TestCliEngineFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig13"])
+        assert args.workers == 1
+        assert args.no_cache is False
+        assert args.cache_file is None
+
+    def test_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["fig13", "--workers", "4", "--no-cache", "--stats"]
+        )
+        assert args.workers == 4
+        assert args.no_cache is True
+        assert args.stats is True
+
+    def test_build_engine_workers_and_cache(self):
+        args = build_parser().parse_args(["fig13", "--workers", "3"])
+        engine = build_engine(args)
+        assert engine.workers == 3
+        assert engine.cache is not None
+
+    def test_build_engine_no_cache(self):
+        args = build_parser().parse_args(["fig13", "--no-cache"])
+        assert build_engine(args).cache is None
+
+    def test_build_engine_rejects_conflicting_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig13", "--no-cache", "--cache-file", str(tmp_path / "c.pkl")]
+        )
+        with pytest.raises(SystemExit):
+            build_engine(args)
+
+    def test_main_with_engine_flags(self, capsys):
+        assert main(["table1", "--workers", "2", "--no-cache", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "implementation-1" in captured.out
+        assert "engine:" in captured.err
+
+    def test_main_saves_cache_file(self, tmp_path, capsys):
+        path = tmp_path / "cache.pkl"
+        assert main(["table1", "--cache-file", str(path)]) == 0
+        assert path.exists()
+
+    def test_main_restores_default_engine(self):
+        from repro.engine import get_default_engine
+
+        before = get_default_engine()
+        assert main(["table1", "--no-cache"]) == 0
+        assert get_default_engine() is before
