@@ -49,8 +49,14 @@ from repro.arch.accelerator import AcceleratorModel
 from repro.energy.model import EnergyModel
 from repro.engine import SearchEngine, get_default_engine, set_default_engine
 from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import (
+    get_workload,
+    list_workloads,
+    register_workload,
+    workload_names,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConvLayer",
@@ -72,5 +78,9 @@ __all__ = [
     "get_default_engine",
     "set_default_engine",
     "vgg16_conv_layers",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "workload_names",
     "__version__",
 ]

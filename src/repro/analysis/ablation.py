@@ -17,7 +17,7 @@ import math
 from repro.core.layer import ConvLayer, kib_to_words
 from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
 from repro.core.tiling import Tiling
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
 
 
 def channel_step_ablation(layer: ConvLayer, capacity_kib: float = 66.5, steps=(1, 2, 4, 8, 16)) -> list:
@@ -84,8 +84,7 @@ def psum_location_ablation(layers: list = None, capacity_kib: float = 66.5) -> d
     the operand traffic.  With Psums in LRegs the GBuf only carries inputs
     and weights (each written and read once).
     """
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     capacity_words = kib_to_words(capacity_kib)
     operand_words = 0.0
     macs = 0
@@ -109,8 +108,7 @@ def memory_split_ablation(layers: list = None, capacity_kib: float = 66.5, psum_
     on-chip memory should hold Psums; this sweep shows the traffic penalty of
     giving more of it to the GBufs instead.
     """
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     capacity_words = kib_to_words(capacity_kib)
     rows = []
     for fraction in psum_fractions:

@@ -12,13 +12,12 @@ from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.energy.model import EnergyModel, efficiency_gap
 from repro.eyeriss.model import EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
 
 
 def energy_report(layers: list = None, implementations: list = None) -> dict:
     """Fig. 18: pJ/MAC breakdown per implementation plus the lower bounds."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = list(PAPER_IMPLEMENTATIONS)
     energy_model = EnergyModel()

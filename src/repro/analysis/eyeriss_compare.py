@@ -19,7 +19,8 @@ from repro.eyeriss.model import (
     EYERISS_REPORTED_VGG16_DRAM_MB,
     VGG16_INPUT_COMPRESSION,
 )
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
+from repro.workloads.vgg import is_vgg16_conv_workload, vgg16_conv_layers
 
 #: Effective on-chip memory of Eyeriss used in the paper's Fig. 15 / Table III.
 EYERISS_EFFECTIVE_KIB = 173.5
@@ -32,14 +33,23 @@ def eyeriss_comparison(
     layers: list = None, capacity_kib: float = EYERISS_EFFECTIVE_KIB, engine=None
 ) -> dict:
     """Build the Fig. 15 per-layer series and the Table III summary."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if engine is None:
         engine = get_default_engine()
     capacity_words = kib_to_words(capacity_kib)
     ours = get_dataflow("Ours")
     eyeriss = EyerissModel()
     our_results = engine.per_layer_results(layers, capacity_words, ours)
+    # The input-compression ratios and the reported silicon numbers are
+    # VGG-16 measurements; for any other workload the model-based Eyeriss
+    # rows remain valid but the VGG-specific rows are suppressed rather
+    # than quoting meaningless ratios.  Ratios are looked up by layer name
+    # so VGG subsets get the right per-layer value, not a positional one.
+    is_vgg = is_vgg16_conv_workload(layers)
+    compression_by_name = {
+        reference.name: ratio
+        for reference, ratio in zip(vgg16_conv_layers(batch=1), VGG16_INPUT_COMPRESSION)
+    }
 
     per_layer = []
     totals = {"lower_bound": 0.0, "ours": 0.0, "eyeriss_uncompressed": 0.0, "eyeriss_compressed": 0.0}
@@ -49,56 +59,53 @@ def eyeriss_comparison(
         our_total = our_results[index - 1].total
         eyeriss_result = eyeriss.run_layer(layer)
         uncompressed = eyeriss_result.dram.total
-        ratio = (
-            VGG16_INPUT_COMPRESSION[index - 1]
-            if index - 1 < len(VGG16_INPUT_COMPRESSION)
-            else 1.0
-        )
-        compressed = (
-            eyeriss_result.dram.input_reads * ratio
-            + eyeriss_result.dram.weight_reads
-            + eyeriss_result.dram.output_traffic * ratio
-        )
-        per_layer.append(
-            {
-                "layer_index": index,
-                "layer": layer.name,
-                "lower_bound_mb": words_to_mb(bound),
-                "ours_mb": words_to_mb(our_total),
-                "eyeriss_compressed_mb": words_to_mb(compressed),
-                "eyeriss_uncompressed_mb": words_to_mb(uncompressed),
-            }
-        )
+        row = {
+            "layer_index": index,
+            "layer": layer.name,
+            "lower_bound_mb": words_to_mb(bound),
+            "ours_mb": words_to_mb(our_total),
+            "eyeriss_uncompressed_mb": words_to_mb(uncompressed),
+        }
+        if is_vgg:
+            ratio = compression_by_name[layer.name]
+            compressed = (
+                eyeriss_result.dram.input_reads * ratio
+                + eyeriss_result.dram.weight_reads
+                + eyeriss_result.dram.output_traffic * ratio
+            )
+            row["eyeriss_compressed_mb"] = words_to_mb(compressed)
+            totals["eyeriss_compressed"] += compressed
+        per_layer.append(row)
         totals["lower_bound"] += bound
         totals["ours"] += our_total
         totals["eyeriss_uncompressed"] += uncompressed
-        totals["eyeriss_compressed"] += compressed
         total_macs += layer.macs
 
-    reported = {
-        name: {
-            "dram_access_mb": mb,
-            "dram_access_per_mac": mb * 1024 * 1024 / 2 / total_macs if total_macs else 0.0,
-        }
-        for name, mb in (
-            ("Eyeriss (compr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["compressed"]),
-            ("Eyeriss (uncompr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["uncompressed"]),
-        )
+    summary_rows = {
+        "Lower bound": _summary_row(totals["lower_bound"], total_macs),
+        "Our dataflow": _summary_row(totals["ours"], total_macs),
+        "Eyeriss (uncompr.)": _summary_row(totals["eyeriss_uncompressed"], total_macs),
     }
     summary = {
         "capacity_kib": capacity_kib,
         "total_macs": total_macs,
-        "rows": {
-            "Lower bound": _summary_row(totals["lower_bound"], total_macs),
-            "Our dataflow": _summary_row(totals["ours"], total_macs),
-            "Eyeriss (compr.)": _summary_row(totals["eyeriss_compressed"], total_macs),
-            "Eyeriss (uncompr.)": _summary_row(totals["eyeriss_uncompressed"], total_macs),
-            **reported,
-        },
+        "rows": summary_rows,
         "ours_vs_uncompressed_reduction": 1.0 - totals["ours"] / totals["eyeriss_uncompressed"],
-        "ours_vs_compressed_reduction": 1.0 - totals["ours"] / totals["eyeriss_compressed"],
-        "flexflow_reported_dram_per_mac": FLEXFLOW_REPORTED_DRAM_PER_MAC,
     }
+    if is_vgg:
+        summary_rows["Eyeriss (compr.)"] = _summary_row(totals["eyeriss_compressed"], total_macs)
+        for name, mb in (
+            ("Eyeriss (compr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["compressed"]),
+            ("Eyeriss (uncompr., reported)", EYERISS_REPORTED_VGG16_DRAM_MB["uncompressed"]),
+        ):
+            summary_rows[name] = {
+                "dram_access_mb": mb,
+                "dram_access_per_mac": mb * 1024 * 1024 / 2 / total_macs if total_macs else 0.0,
+            }
+        summary["ours_vs_compressed_reduction"] = (
+            1.0 - totals["ours"] / totals["eyeriss_compressed"]
+        )
+        summary["flexflow_reported_dram_per_mac"] = FLEXFLOW_REPORTED_DRAM_PER_MAC
     return {"per_layer": per_layer, "summary": summary}
 
 

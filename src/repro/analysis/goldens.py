@@ -1,0 +1,181 @@
+"""Golden-value regression suite for the paper's figures.
+
+The figures in this repository are deterministic functions of the traffic
+and search code, so their numbers can be pinned as JSON "goldens" and any
+code change that moves a figure becomes a visible test failure instead of a
+silent regression.  Per workload the golden file pins:
+
+* ``fig13`` -- memory-sweep DRAM totals at a capacity subset that includes
+  the two capacities used by later figures (66.5 and 173.5 KB);
+* ``fig14`` -- per-layer DRAM traffic at 66.5 KB;
+* ``table3`` -- the Eyeriss-comparison summary at 173.5 KB.
+
+Regenerate after an *intentional* model change with::
+
+    python -m repro.cli goldens --write
+
+and review the JSON diff like any other code change.  The default directory
+is ``tests/goldens`` relative to the repository root (override with
+``--goldens-dir``); :mod:`tests.test_goldens` replays every pinned figure
+against the current engine output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.analysis.eyeriss_compare import eyeriss_comparison
+from repro.analysis.sweep import memory_sweep, per_layer_dram
+from repro.engine import get_default_engine
+
+#: Workloads whose figures are pinned (the paper's three evaluation CNNs).
+GOLDEN_WORKLOADS = ("vgg16", "alexnet", "resnet18")
+
+#: Fig. 13 capacity subset: the sweep extremes plus the capacities that
+#: fig14 (66.5 KB) and table3 (173.5 KB) reuse from the engine cache.
+FIG13_CAPACITIES_KIB = (16.0, 66.5, 173.5)
+
+FIG14_CAPACITY_KIB = 66.5
+
+
+def default_goldens_dir() -> str:
+    """The repository's ``tests/goldens`` directory.
+
+    Resolved relative to this source tree when running from a checkout
+    (``src/repro/analysis`` -> repo root), so ``repro-experiments goldens``
+    works from any working directory; for an installed package with no
+    surrounding checkout it falls back to CWD-relative ``tests/goldens``.
+    """
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    candidate = os.path.join(repo_root, "tests", "goldens")
+    if os.path.isdir(os.path.dirname(candidate)):
+        return candidate
+    return os.path.join("tests", "goldens")
+
+
+def golden_path(directory: str, workload: str) -> str:
+    return os.path.join(directory, f"{workload}.json")
+
+
+def compute_goldens(workload: str, engine=None) -> dict:
+    """Current engine output for every pinned figure of one workload."""
+    if engine is None:
+        engine = get_default_engine()
+    return {
+        "workload": workload,
+        "fig13": memory_sweep(
+            capacities_kib=list(FIG13_CAPACITIES_KIB), layers=workload, engine=engine
+        ),
+        "fig14": per_layer_dram(
+            capacity_kib=FIG14_CAPACITY_KIB, layers=workload, engine=engine
+        ),
+        "table3": eyeriss_comparison(layers=workload, engine=engine),
+    }
+
+
+def _sanitize(value):
+    """Map NaN (infeasible sweep points) to ``None`` for strict JSON.
+
+    Bare ``NaN`` tokens are a Python extension: ``jq``, JavaScript and most
+    CI tooling reject them, and the golden files are meant to be reviewed as
+    ordinary JSON diffs.  ``None``/``NaN`` are treated as equal when diffing.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+def write_goldens(directory: str, workloads=None, engine=None) -> list:
+    """Write one golden JSON per workload; returns the file paths."""
+    if workloads is None:
+        workloads = GOLDEN_WORKLOADS
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for workload in workloads:
+        payload = _sanitize(compute_goldens(workload, engine=engine))
+        path = golden_path(directory, workload)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def load_golden(directory: str, workload: str) -> dict:
+    with open(golden_path(directory, workload)) as handle:
+        return json.load(handle)
+
+
+def diff_goldens(expected, actual, rel_tol: float = 1e-9, path: str = "$") -> list:
+    """Recursive diff of two golden payloads; returns mismatch descriptions.
+
+    Numbers compare with a relative tolerance (the figures are pure float
+    arithmetic, so 1e-9 flags real model changes while tolerating platform
+    libm wiggle); ``NaN`` in live output matches the ``null`` it is pinned
+    as, because both mark the same infeasible sweep points.
+    """
+    # JSON-normalise so tuples/ints from live engine output compare cleanly
+    # against the parsed golden file, with NaN mapped to null on both sides.
+    expected = json.loads(json.dumps(_sanitize(expected)))
+    actual = json.loads(json.dumps(_sanitize(actual)))
+    return _diff(expected, actual, rel_tol, path)
+
+
+def _diff(expected, actual, rel_tol: float, path: str) -> list:
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        problems = []
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                problems.append(f"{path}.{key}: unexpected new key")
+            elif key not in actual:
+                problems.append(f"{path}.{key}: missing from output")
+            else:
+                problems += _diff(expected[key], actual[key], rel_tol, f"{path}.{key}")
+        return problems
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(actual)} != pinned {len(expected)}"]
+        problems = []
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            problems += _diff(left, right, rel_tol, f"{path}[{index}]")
+        return problems
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)) \
+            and not isinstance(expected, bool) and not isinstance(actual, bool):
+        if math.isnan(expected) and math.isnan(actual):
+            return []
+        if math.isclose(expected, actual, rel_tol=rel_tol, abs_tol=rel_tol):
+            return []
+        return [f"{path}: {actual!r} != pinned {expected!r}"]
+    if expected != actual:
+        return [f"{path}: {actual!r} != pinned {expected!r}"]
+    return []
+
+
+def check_goldens(directory: str, workloads=None, engine=None) -> dict:
+    """Diff every pinned workload against current output.
+
+    Returns ``{workload: [problems]}``; a missing golden file is reported as
+    one problem pointing at the regeneration command.
+    """
+    if workloads is None:
+        workloads = GOLDEN_WORKLOADS
+    report = {}
+    for workload in workloads:
+        path = golden_path(directory, workload)
+        if not os.path.exists(path):
+            report[workload] = [
+                f"{path} is missing; regenerate with `python -m repro.cli goldens --write`"
+            ]
+            continue
+        expected = load_golden(directory, workload)
+        actual = compute_goldens(workload, engine=engine)
+        report[workload] = diff_goldens(expected, actual)
+    return report

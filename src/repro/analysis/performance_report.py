@@ -13,17 +13,20 @@ from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.arch.performance import performance_report, throughput_macs_per_second
 from repro.energy.model import EnergyModel
 from repro.eyeriss.model import EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE
-from repro.workloads.vgg import PAPER_BATCH_SIZE, vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
+from repro.workloads.vgg import PAPER_BATCH_SIZE, is_vgg16_conv_workload
 
 
 def performance_comparison(layers: list = None, implementations: list = None) -> list:
     """Fig. 19: one row per implementation with time, waiting share and power."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = list(PAPER_IMPLEMENTATIONS)
     energy_model = EnergyModel()
     batch = layers[0].batch if layers else PAPER_BATCH_SIZE
+    # Eyeriss's reported runtime is a VGG-16-per-image measurement; the
+    # speedup column is only meaningful (and only emitted) for that stack.
+    is_vgg = is_vgg16_conv_workload(layers)
     eyeriss_seconds = EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE * batch
 
     rows = []
@@ -42,7 +45,8 @@ def performance_comparison(layers: list = None, implementations: list = None) ->
                 "waiting_fraction": report.waiting_fraction,
                 "power_watts": report.power_watts,
                 "throughput_gmacs": throughput_macs_per_second(network, config) / 1e9,
-                "speedup_over_eyeriss_reported": eyeriss_seconds / report.total_seconds,
             }
         )
+        if is_vgg:
+            rows[-1]["speedup_over_eyeriss_reported"] = eyeriss_seconds / report.total_seconds
     return rows

@@ -4,19 +4,22 @@ Every function returns plain dictionaries / lists of rows so the benchmarks
 and the CLI can print them and the tests can assert on them without any
 plotting dependency.  Volumes are reported in megabytes (16-bit words, 2
 bytes each), matching the paper's axes.
+
+``layers`` arguments accept a layer list, a registered workload name/spec
+(``"resnet18"``, ``"mobilenet_v1:2"``) or ``None`` for the paper's VGG-16.
 """
 
 from __future__ import annotations
 
 from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS
-from repro.core.layer import ConvLayer, kib_to_words
+from repro.core.layer import kib_to_words
 from repro.core.lower_bound import practical_lower_bound, reg_lower_bound
 from repro.core.traffic import BYTES_PER_WORD
 from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
 from repro.engine import get_default_engine
 from repro.eyeriss.model import EyerissModel
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
 
 MB = 1024.0 * 1024.0
 
@@ -49,8 +52,7 @@ def memory_sweep(
     """
     if capacities_kib is None:
         capacities_kib = [16 * i for i in range(1, 17)]
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if engine is None:
         engine = get_default_engine()
     dataflows = (
@@ -118,8 +120,7 @@ def per_layer_dram(
     ``capacity_kib`` (implementations 1-3 at 66.5 KB), and the requested
     baselines, all in MB, plus the input/weight/output split of our dataflow.
     """
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = [
             config
@@ -168,8 +169,7 @@ def per_layer_dram(
 
 def gbuf_per_layer(layers: list = None, implementations: list = None) -> list:
     """Per-layer GBuf access volume of every implementation vs. Eyeriss (Fig. 16)."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = list(PAPER_IMPLEMENTATIONS)
     eyeriss = EyerissModel()
@@ -192,8 +192,7 @@ def gbuf_per_layer(layers: list = None, implementations: list = None) -> list:
 
 def gbuf_dram_ratio(layers: list = None, implementation_index: int = 1) -> dict:
     """GBuf-to-DRAM access ratios by tensor for one implementation (Table IV)."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     config = PAPER_IMPLEMENTATIONS[implementation_index - 1]
     model = AcceleratorModel(config)
     network = model.run_network(layers)
@@ -239,8 +238,7 @@ def gbuf_dram_ratio(layers: list = None, implementation_index: int = 1) -> dict:
 
 def reg_per_layer(layers: list = None, implementations: list = None) -> list:
     """Per-layer register access volume vs. the Eq. (16) lower bound (Fig. 17)."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = list(PAPER_IMPLEMENTATIONS)
     models = [AcceleratorModel(config) for config in implementations]

@@ -4,13 +4,12 @@ from __future__ import annotations
 
 from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import resolve_layers
 
 
 def utilization_report(layers: list = None, implementations: list = None) -> list:
     """Fig. 20: average GBuf / GReg / LReg / overall-memory / PE utilisation."""
-    if layers is None:
-        layers = vgg16_conv_layers()
+    layers = resolve_layers(layers, "vgg16")
     if implementations is None:
         implementations = list(PAPER_IMPLEMENTATIONS)
     rows = []

@@ -4,14 +4,19 @@ Examples::
 
     repro-experiments fig13 --capacities 16 66.5 128 256
     repro-experiments fig13 --workers 8           # parallel tiling searches
+    repro-experiments fig14 --workload resnet18   # any registered network
+    repro-experiments fig13 --workload mobilenet_v1 --capacities 66.5
+    repro-experiments workloads                   # list the registry
+    repro-experiments goldens --write             # re-pin the golden figures
     repro-experiments table3 --no-cache           # force cold searches
     repro-experiments all --cache-file /tmp/repro-cache.pkl
-    repro-experiments fig18
 
 Every search-based experiment routes through a
 :class:`repro.engine.SearchEngine`; ``--workers`` fans the exhaustive tiling
 searches out across processes, ``--no-cache`` disables memoization, and
 ``--cache-file`` persists results so later invocations start warm.
+``--workload NAME[:batch]`` runs any figure on any workload registered in
+:mod:`repro.workloads.registry` (default: the paper's VGG-16 at batch 3).
 """
 
 from __future__ import annotations
@@ -21,12 +26,18 @@ import sys
 
 from repro.analysis.energy_report import energy_report
 from repro.analysis.eyeriss_compare import eyeriss_comparison
+from repro.analysis.goldens import (
+    check_goldens,
+    default_goldens_dir,
+    write_goldens,
+)
 from repro.analysis.performance_report import performance_comparison
 from repro.analysis.report import (
     format_dict_rows,
     format_energy_report,
     format_gbuf_dram_ratio,
     format_memory_sweep,
+    format_table,
 )
 from repro.analysis.sweep import (
     gbuf_dram_ratio,
@@ -37,37 +48,42 @@ from repro.analysis.sweep import (
 )
 from repro.analysis.utilization_report import utilization_report
 from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.core.layer import total_macs
 from repro.energy.model import OPERATION_ENERGY
 from repro.engine import SearchEngine, set_default_engine
-from repro.workloads.vgg import vgg16_conv_layers
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    get_workload_spec,
+    list_workloads,
+)
 
 
-def _print_table1() -> None:
+def _print_table1(layers, engine) -> None:
     print("Table I: implementations of our architecture")
     for config in PAPER_IMPLEMENTATIONS:
         print("  " + config.describe())
 
 
-def _print_table2() -> None:
+def _print_table2(layers, engine) -> None:
     print("Table II: energy consumption of operations (pJ)")
     for name, value in OPERATION_ENERGY.items():
         print(f"  {name:>14}: {value}")
 
 
-def _print_fig13(capacities, engine) -> None:
-    sweep = memory_sweep(capacities_kib=capacities, engine=engine)
+def _print_fig13(capacities, layers, engine) -> None:
+    sweep = memory_sweep(capacities_kib=capacities, layers=layers, engine=engine)
     print("Fig. 13: DRAM access volume (GB) vs effective on-chip memory")
     print(format_memory_sweep(sweep))
 
 
-def _print_fig14(engine) -> None:
-    rows = per_layer_dram(engine=engine)
-    print("Fig. 14: per-layer DRAM access volume (MB) at 66.5 KB on-chip memory")
+def _print_fig14(capacity_kib, layers, engine) -> None:
+    rows = per_layer_dram(capacity_kib=capacity_kib, layers=layers, engine=engine)
+    print(f"Fig. 14: per-layer DRAM access volume (MB) at {capacity_kib} KB on-chip memory")
     print(format_dict_rows(rows))
 
 
-def _print_fig15_table3(engine) -> None:
-    comparison = eyeriss_comparison(engine=engine)
+def _print_fig15_table3(layers, engine) -> None:
+    comparison = eyeriss_comparison(layers=layers, engine=engine)
     print("Fig. 15: per-layer DRAM access (MB) at 173.5 KB effective on-chip memory")
     print(format_dict_rows(comparison["per_layer"]))
     print()
@@ -79,45 +95,63 @@ def _print_fig15_table3(engine) -> None:
         )
 
 
-def _print_fig16() -> None:
-    rows = gbuf_per_layer()
+def _print_fig16(layers, engine) -> None:
+    rows = gbuf_per_layer(layers=layers)
     print("Fig. 16: per-layer GBuf access volume (MB)")
     print(format_dict_rows(rows))
 
 
-def _print_table4() -> None:
+def _print_table4(layers, engine) -> None:
     print("Table IV: GBuf vs DRAM access volume (implementation 1)")
-    print(format_gbuf_dram_ratio(gbuf_dram_ratio()))
+    print(format_gbuf_dram_ratio(gbuf_dram_ratio(layers=layers)))
 
 
-def _print_fig17() -> None:
-    rows = reg_per_layer()
+def _print_fig17(layers, engine) -> None:
+    rows = reg_per_layer(layers=layers)
     print("Fig. 17: per-layer register access volume (GB)")
     print(format_dict_rows(rows))
 
 
-def _print_fig18() -> None:
+def _print_fig18(layers, engine) -> None:
     print("Fig. 18: energy efficiency")
-    print(format_energy_report(energy_report()))
+    print(format_energy_report(energy_report(layers=layers)))
 
 
-def _print_fig19() -> None:
-    rows = performance_comparison()
+def _print_fig19(layers, engine) -> None:
+    rows = performance_comparison(layers=layers)
     print("Fig. 19: performance and power")
     print(format_dict_rows(rows))
 
 
-def _print_fig20() -> None:
-    rows = utilization_report()
+def _print_fig20(layers, engine) -> None:
+    rows = utilization_report(layers=layers)
     print("Fig. 20: memory and PE utilisation")
     print(format_dict_rows(rows))
+
+
+def _print_workloads(layers, engine) -> None:
+    rows = []
+    for workload in list_workloads():
+        built = workload.build()
+        rows.append(
+            [
+                workload.name,
+                len(built),
+                workload.default_batch,
+                f"{total_macs(built) / 1e9:.3f}",
+                ",".join(workload.tags),
+                workload.description,
+            ]
+        )
+    print("Registered workloads (run any figure with --workload NAME[:batch])")
+    print(format_table(["name", "layers", "batch", "GMACs", "tags", "description"], rows))
 
 
 _EXPERIMENTS = {
     "table1": _print_table1,
     "table2": _print_table2,
     "fig13": None,  # handled specially (capacities argument)
-    "fig14": _print_fig14,
+    "fig14": None,  # handled specially (capacity argument)
     "fig15": _print_fig15_table3,
     "table3": _print_fig15_table3,
     "fig16": _print_fig16,
@@ -126,6 +160,7 @@ _EXPERIMENTS = {
     "fig18": _print_fig18,
     "fig19": _print_fig19,
     "fig20": _print_fig20,
+    "workloads": _print_workloads,
 }
 
 
@@ -136,8 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(_EXPERIMENTS) + ["goldens", "all"],
+        help="which table/figure to regenerate ('workloads' lists the "
+        "registry, 'goldens' checks or re-pins the regression numbers)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="vgg16",
+        metavar="NAME[:batch]",
+        help="registered workload to run the figures on (see the "
+        "'workloads' subcommand; default vgg16, the paper's network)",
     )
     parser.add_argument(
         "--capacities",
@@ -145,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[16, 32, 64, 66.5, 128, 173.5, 256],
         help="effective on-chip memory sizes in KB for fig13",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=float,
+        default=66.5,
+        help="effective on-chip memory size in KB for fig14 (default 66.5)",
     )
     parser.add_argument(
         "--workers",
@@ -167,6 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine cache statistics after the run",
     )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="with 'goldens': re-pin the golden JSON files instead of checking them",
+    )
+    parser.add_argument(
+        "--goldens-dir",
+        default=None,
+        help="directory of the golden JSON files (default tests/goldens)",
+    )
     return parser
 
 
@@ -181,44 +240,76 @@ def build_engine(args) -> SearchEngine:
     )
 
 
+def _run_goldens(args, engine) -> int:
+    directory = args.goldens_dir or default_goldens_dir()
+    if args.write:
+        for path in write_goldens(directory, engine=engine):
+            print(f"wrote {path}")
+        return 0
+    report = check_goldens(directory, engine=engine)
+    failures = 0
+    for workload, problems in report.items():
+        status = "ok" if not problems else f"{len(problems)} mismatches"
+        print(f"goldens[{workload}]: {status}")
+        for problem in problems[:20]:
+            print(f"  {problem}")
+        failures += len(problems)
+    if failures:
+        print(f"{failures} golden mismatches; if intentional, re-pin with "
+              "`python -m repro.cli goldens --write`", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list = None) -> int:
     args = build_parser().parse_args(argv)
-    engine = build_engine(args)
+    try:
+        engine = build_engine(args)
+        # Resolve the workload up front so a bad name/batch fails fast with a
+        # clear message instead of mid-way through a long run.
+        layers = get_workload_spec(args.workload)
+    except (UnknownWorkloadError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     # Anything routed through repro.dataflows.search without an explicit
     # engine (examples, ad-hoc imports) should see the same cache for the
     # duration of the run; the previous default is restored afterwards so
     # programmatic callers of main() keep their own engine.
     previous_engine = set_default_engine(engine)
     try:
-        # Touch the workload once so argument errors surface before long runs.
-        vgg16_conv_layers()
-        if args.experiment == "all":
+        status = 0
+        if args.experiment == "goldens":
+            status = _run_goldens(args, engine)
+        elif args.experiment == "all":
             for name in ("table1", "table2", "fig13", "fig14", "fig15", "fig16",
                          "table4", "fig17", "fig18", "fig19", "fig20"):
-                _dispatch(name, args, engine)
+                _dispatch(name, args, layers, engine)
                 print()
         else:
-            _dispatch(args.experiment, args, engine)
+            _dispatch(args.experiment, args, layers, engine)
         if args.cache_file:
             engine.save()
         if args.stats:
             print(f"engine: {engine.stats}", file=sys.stderr)
+        return status
+    # ValueError is this package's convention for infeasible user-chosen
+    # parameters (capacity too small for any tiling, bad worker counts), so
+    # it maps to a clean exit; genuine internal bugs surface as other
+    # exception types and keep their tracebacks.
+    except (UnknownWorkloadError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     finally:
         set_default_engine(previous_engine)
-    return 0
 
 
-#: Experiments whose drivers run tiling searches and take the engine.
-_SEARCH_EXPERIMENTS = frozenset({"fig14", "fig15", "table3"})
-
-
-def _dispatch(name: str, args, engine) -> None:
+def _dispatch(name: str, args, layers, engine) -> None:
     if name == "fig13":
-        _print_fig13(args.capacities, engine)
-    elif name in _SEARCH_EXPERIMENTS:
-        _EXPERIMENTS[name](engine)
+        _print_fig13(args.capacities, layers, engine)
+    elif name == "fig14":
+        _print_fig14(args.capacity, layers, engine)
     else:
-        _EXPERIMENTS[name]()
+        _EXPERIMENTS[name](layers, engine)
 
 
 if __name__ == "__main__":

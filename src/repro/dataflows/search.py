@@ -38,21 +38,22 @@ def found_minimum(
 
 
 def network_traffic(
-    layers: list, capacity_words: int, dataflow=None, engine=None
+    layers, capacity_words: int, dataflow=None, engine=None
 ) -> TrafficBreakdown:
     """Network-level DRAM traffic.
 
     With ``dataflow=None`` the per-layer found minimum is used (the best
     dataflow may differ layer to layer); otherwise the given dataflow is used
-    for every layer.
+    for every layer.  ``layers`` is a layer list or a registered workload
+    name/spec (``"vgg16"``, ``"resnet18:8"``).
     """
     if engine is None:
         engine = get_default_engine()
     return engine.network_traffic(layers, capacity_words, dataflow=dataflow)
 
 
-def per_layer_results(layers: list, capacity_words: int, dataflow, engine=None) -> list:
-    """Per-layer :class:`DataflowResult` list for one dataflow."""
+def per_layer_results(layers, capacity_words: int, dataflow, engine=None) -> list:
+    """Per-layer :class:`DataflowResult` list for one dataflow (or workload name)."""
     if engine is None:
         engine = get_default_engine()
     return engine.per_layer_results(layers, capacity_words, dataflow)

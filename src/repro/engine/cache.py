@@ -39,6 +39,14 @@ INFEASIBLE = "__infeasible__"
 #: On-disk payload marker; bump when the pickle layout itself changes.
 CACHE_FORMAT = "repro-search-cache-v1"
 
+#: Version of the *entry* layout: the :func:`task_key` tuple shape and the
+#: ``DataflowResult`` / ``TrafficBreakdown`` dataclasses.  The package
+#: version alone cannot guard these (a dev checkout changes the dataclasses
+#: without bumping the release number), so the schema is pinned explicitly;
+#: bump it whenever the key or result layout changes and every older cache
+#: file is discarded with a warning instead of serving stale entries.
+SCHEMA_VERSION = 1
+
 
 def _code_version() -> str:
     # Imported lazily: repro/__init__ imports repro.engine, so a top-level
@@ -46,6 +54,22 @@ def _code_version() -> str:
     from repro import __version__
 
     return __version__
+
+
+def _valid_entry(key, entry) -> bool:
+    """Structural check of one on-disk cache entry.
+
+    A truncated or hand-edited pickle can satisfy the payload header checks
+    while carrying garbage entries; serving those would silently corrupt
+    every figure, so the whole file is rejected instead.
+    """
+    # Imported lazily to avoid a cycle (dataflows.search routes through the
+    # engine package).
+    from repro.dataflows.base import DataflowResult
+
+    if not (isinstance(key, tuple) and len(key) == 3):
+        return False
+    return entry == INFEASIBLE or isinstance(entry, DataflowResult)
 
 
 def layer_signature(layer: ConvLayer) -> tuple:
@@ -186,14 +210,26 @@ class SearchCache:
             or not isinstance(payload.get("entries"), dict)
         ):
             raise ValueError(f"corrupt search cache at {path!r}")
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"search cache at {path!r} uses entry schema "
+                f"{payload.get('schema')!r}, not {SCHEMA_VERSION!r}; ignoring it"
+            )
         version = _code_version()
         if payload.get("version") != version:
             raise ValueError(
                 f"search cache at {path!r} was written by version "
                 f"{payload.get('version')!r}, not {version!r}; ignoring it"
             )
-        self._entries.update(payload["entries"])
-        return len(payload["entries"])
+        entries = payload["entries"]
+        for key, entry in entries.items():
+            if not _valid_entry(key, entry):
+                raise ValueError(
+                    f"search cache at {path!r} holds a malformed entry for "
+                    f"key {key!r}; ignoring the file"
+                )
+        self._entries.update(entries)
+        return len(entries)
 
     def save(self, path: str = None) -> int:
         """Atomically pickle all entries to ``path``; return the count."""
@@ -202,6 +238,7 @@ class SearchCache:
             raise ValueError("no cache path configured")
         payload = {
             "format": CACHE_FORMAT,
+            "schema": SCHEMA_VERSION,
             "version": _code_version(),
             "entries": self._entries,
         }

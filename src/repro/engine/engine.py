@@ -169,8 +169,13 @@ class SearchEngine:
             )
         return min(feasible, key=lambda result: result.total)
 
-    def network_traffic(self, layers: list, capacity_words: int, dataflow=None) -> TrafficBreakdown:
-        """Network-level DRAM traffic (found minimum unless ``dataflow`` given)."""
+    def network_traffic(self, layers, capacity_words: int, dataflow=None) -> TrafficBreakdown:
+        """Network-level DRAM traffic (found minimum unless ``dataflow`` given).
+
+        ``layers`` is a layer list or a registered workload name/spec
+        (``"vgg16"``, ``"mobilenet_v1:2"``).
+        """
+        layers = self._resolve_layers(layers)
         if dataflow is not None:
             return sum_traffic(
                 [result.traffic for result in self.per_layer_results(layers, capacity_words, dataflow)]
@@ -197,8 +202,9 @@ class SearchEngine:
             per_layer.append(min(feasible, key=lambda result: result.total).traffic)
         return sum_traffic(per_layer)
 
-    def per_layer_results(self, layers: list, capacity_words: int, dataflow) -> list:
+    def per_layer_results(self, layers, capacity_words: int, dataflow) -> list:
         """Per-layer :class:`DataflowResult` list for one dataflow (all must fit)."""
+        layers = self._resolve_layers(layers)
         results = self.search_many([(dataflow, layer, capacity_words) for layer in layers])
         for layer, result in zip(layers, results):
             if result is None:
@@ -215,6 +221,14 @@ class SearchEngine:
         from repro.dataflows.registry import ALL_DATAFLOWS
 
         return ALL_DATAFLOWS
+
+    @staticmethod
+    def _resolve_layers(layers) -> list:
+        # Lazy for the same reason: repro.workloads is imported by consumers
+        # that already depend on the engine.
+        from repro.workloads.registry import resolve_layers
+
+        return resolve_layers(layers)
 
     # ------------------------------------------------------------ maintenance
 

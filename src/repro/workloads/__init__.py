@@ -1,16 +1,41 @@
-"""Workload definitions: the paper's VGGNet-16 plus other common CNNs."""
+"""Workload definitions: the paper's VGGNet-16 plus a registry of modern networks."""
 
 from repro.workloads.vgg import vgg16_conv_layers, vgg16_fc_layers
 from repro.workloads.alexnet import alexnet_conv_layers
 from repro.workloads.resnet import resnet18_conv_layers
+from repro.workloads.mobilenet import mobilenet_v1_layers
+from repro.workloads.googlenet import googlenet_conv_layers
+from repro.workloads.transformer import bert_base_layers, transformer_encoder_layers
 from repro.workloads.generator import random_layer, random_network, small_test_layers
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    Workload,
+    get_workload,
+    get_workload_spec,
+    list_workloads,
+    register_workload,
+    resolve_layers,
+    workload_names,
+)
 
 __all__ = [
     "vgg16_conv_layers",
     "vgg16_fc_layers",
     "alexnet_conv_layers",
     "resnet18_conv_layers",
+    "mobilenet_v1_layers",
+    "googlenet_conv_layers",
+    "bert_base_layers",
+    "transformer_encoder_layers",
     "random_layer",
     "random_network",
     "small_test_layers",
+    "UnknownWorkloadError",
+    "Workload",
+    "get_workload",
+    "get_workload_spec",
+    "list_workloads",
+    "register_workload",
+    "resolve_layers",
+    "workload_names",
 ]

@@ -1,0 +1,74 @@
+"""GoogLeNet (Inception-v1) layer dimensions (Szegedy et al., 2015).
+
+Each inception module runs four parallel branches over the same input --
+1x1 convolutions, a 1x1 reduction feeding a 3x3, a 1x1 reduction feeding a
+5x5, and a 1x1 projection after pooling -- whose outputs are concatenated.
+For the traffic models the branches are independent convolutions, so the
+network flattens to a list of :class:`ConvLayer` objects with *mixed kernel
+sizes at the same spatial resolution*: 1x1 (``R = 1``), 3x3 (``R = 9``) and
+5x5 (``R = 25``) all drawing from one input tensor shape, which exercises
+the sliding-window-reuse dimension of the bound far more densely than VGG's
+uniform 3x3 stack.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+#: Inception modules: (name, input spatial size, in_channels,
+#: #1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool projection).
+#: Output channels of a module = #1x1 + #3x3 + #5x5 + pool projection.
+_INCEPTION_MODULES = (
+    ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+    ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+    ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+    ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+    ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+    ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+    ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+    ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+    ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+)
+
+
+def inception_branch_layers(
+    name: str,
+    batch: int,
+    size: int,
+    in_channels: int,
+    n1x1: int,
+    n3x3_reduce: int,
+    n3x3: int,
+    n5x5_reduce: int,
+    n5x5: int,
+    pool_proj: int,
+) -> list:
+    """The six convolutions of one inception module, branch by branch."""
+    return [
+        ConvLayer(f"inception_{name}/1x1", batch, in_channels, size, size, n1x1, 1, 1),
+        ConvLayer(f"inception_{name}/3x3_reduce", batch, in_channels, size, size,
+                  n3x3_reduce, 1, 1),
+        ConvLayer(f"inception_{name}/3x3", batch, n3x3_reduce, size, size, n3x3,
+                  3, 3, stride=1, padding=1),
+        ConvLayer(f"inception_{name}/5x5_reduce", batch, in_channels, size, size,
+                  n5x5_reduce, 1, 1),
+        ConvLayer(f"inception_{name}/5x5", batch, n5x5_reduce, size, size, n5x5,
+                  5, 5, stride=1, padding=2),
+        # The pooling branch's 3x3 max-pool moves no MACs; only its 1x1
+        # projection is a convolution.
+        ConvLayer(f"inception_{name}/pool_proj", batch, in_channels, size, size,
+                  pool_proj, 1, 1),
+    ]
+
+
+def googlenet_conv_layers(batch: int = 1) -> list:
+    """All convolutional layers of GoogLeNet: the stem plus nine inception modules."""
+    layers = [
+        ConvLayer("conv1/7x7_s2", batch, 3, 224, 224, 64, 7, 7, stride=2, padding=3),
+        ConvLayer("conv2/3x3_reduce", batch, 64, 56, 56, 64, 1, 1),
+        ConvLayer("conv2/3x3", batch, 64, 56, 56, 192, 3, 3, stride=1, padding=1),
+    ]
+    for module in _INCEPTION_MODULES:
+        name, size, in_channels = module[0], module[1], module[2]
+        layers.extend(inception_branch_layers(name, batch, size, in_channels, *module[3:]))
+    return layers

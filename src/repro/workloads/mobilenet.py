@@ -1,0 +1,159 @@
+"""MobileNet-V1 layer dimensions (Howard et al., 2017).
+
+MobileNet replaces standard convolutions with depthwise-separable blocks:
+a *depthwise* 3x3 convolution that filters each channel independently,
+followed by a *pointwise* 1x1 convolution that mixes channels.  Both pieces
+land on extreme corners of the paper's communication bound:
+
+* a depthwise convolution over ``C`` channels is exactly ``C`` independent
+  single-channel convolutions -- ``ConvLayer`` objects with
+  ``in_channels = 1`` and ``out_channels = 1`` (tiny ``Ci``, full
+  sliding-window reuse ``R = 9``);
+* a pointwise convolution is a 1x1 kernel with ``R = 1``, i.e. the pure
+  matrix-multiplication corner of the bound (Section III-B).
+
+The decomposition is exact: per-channel layers carry their own 3x3 kernel,
+so MAC and word counts sum to the standard depthwise totals.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+#: Depthwise-separable blocks of MobileNet-V1 at 224x224 input:
+#: (input spatial size of the block, in_channels, out_channels, stride of
+#: the depthwise stage).  Channel counts are scaled by the width multiplier.
+_MOBILENET_V1_BLOCKS = (
+    (112, 32, 64, 1),
+    (112, 64, 128, 2),
+    (56, 128, 128, 1),
+    (56, 128, 256, 2),
+    (28, 256, 256, 1),
+    (28, 256, 512, 2),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 512, 1),
+    (14, 512, 1024, 2),
+    (7, 1024, 1024, 1),
+)
+
+#: Final classifier: global average pool to 1x1x1024, then FC to 1000 classes.
+_CLASSIFIER_SHAPE = (1024, 1000)
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    """Channel count under a width multiplier (never below one channel)."""
+    return max(1, int(channels * width_multiplier))
+
+
+def mobilenet_v1_layers(
+    batch: int = 1,
+    width_multiplier: float = 1.0,
+    expand_depthwise: bool = True,
+    include_classifier: bool = True,
+) -> list:
+    """MobileNet-V1 as a flat list of :class:`ConvLayer` objects.
+
+    With ``expand_depthwise=True`` (the default) every depthwise stage over
+    ``C`` channels contributes ``C`` shape-identical per-channel layers named
+    ``convN_dw/cJJJJ``; the search engine deduplicates them to a single
+    exhaustive search per stage.  With ``expand_depthwise=False`` each stage
+    contributes one representative per-channel layer whose batch is folded
+    with the channel count (``batch * C``) -- traffic-equivalent for the
+    input/output tensors and far fewer rows in per-layer reports, but the
+    shared-kernel approximation undercounts the (tiny) weight volume.
+    """
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+    layers = [
+        ConvLayer(
+            "conv1",
+            batch,
+            3,
+            224,
+            224,
+            _scaled(32, width_multiplier),
+            3,
+            3,
+            stride=2,
+            padding=1,
+        )
+    ]
+    for index, (size, in_channels, out_channels, stride) in enumerate(
+        _MOBILENET_V1_BLOCKS, start=2
+    ):
+        in_channels = _scaled(in_channels, width_multiplier)
+        out_channels = _scaled(out_channels, width_multiplier)
+        if expand_depthwise:
+            layers.extend(
+                ConvLayer(
+                    f"conv{index}_dw/c{channel:04d}",
+                    batch,
+                    1,
+                    size,
+                    size,
+                    1,
+                    3,
+                    3,
+                    stride=stride,
+                    padding=1,
+                )
+                for channel in range(in_channels)
+            )
+        else:
+            layers.append(
+                ConvLayer(
+                    f"conv{index}_dw(x{in_channels})",
+                    batch * in_channels,
+                    1,
+                    size,
+                    size,
+                    1,
+                    3,
+                    3,
+                    stride=stride,
+                    padding=1,
+                )
+            )
+        layers.append(
+            ConvLayer(
+                f"conv{index}_pw",
+                batch,
+                in_channels,
+                size // stride,
+                size // stride,
+                out_channels,
+                1,
+                1,
+                stride=1,
+                padding=0,
+            )
+        )
+    if include_classifier:
+        in_features, out_features = _CLASSIFIER_SHAPE
+        layers.append(
+            ConvLayer.from_fc(
+                "fc", batch, _scaled(in_features, width_multiplier), out_features
+            )
+        )
+    return layers
+
+
+def mobilenet_v1_depthwise_layers(batch: int = 1, width_multiplier: float = 1.0) -> list:
+    """Only the (expanded) depthwise layers -- the tiny-``Ci`` bound corner."""
+    return [
+        layer
+        for layer in mobilenet_v1_layers(batch, width_multiplier)
+        if "_dw" in layer.name
+    ]
+
+
+def mobilenet_v1_pointwise_layers(batch: int = 1, width_multiplier: float = 1.0) -> list:
+    """Only the pointwise 1x1 layers -- the ``R = 1`` matmul bound corner."""
+    return [
+        layer
+        for layer in mobilenet_v1_layers(batch, width_multiplier)
+        if layer.name.endswith("_pw")
+    ]

@@ -1,0 +1,75 @@
+"""Transformer encoder (BERT-style) workloads built on the matmul machinery.
+
+Section III-B of the paper shows that a layer with ``R = 1`` is exactly a
+matrix multiplication, so a Transformer encoder -- which is nothing but
+matmuls -- maps onto :meth:`ConvLayer.from_fc` directly:
+
+* the Q/K/V/output projections and the two FFN matmuls multiply activations
+  by *learned weights* shared across the batch, so all tokens fold into the
+  ``batch`` dimension (``batch * seq_len`` rows);
+* the attention score (``Q @ K^T``) and context (``A @ V``) matmuls multiply
+  two *activation* tensors, which are distinct per sequence and per head, so
+  one ``ConvLayer`` is emitted per ``(sequence, head)`` pair -- all
+  shape-identical, which the search engine deduplicates to a single
+  exhaustive search each.
+
+The resulting workload exercises the pure-matmul corner of the bound over a
+wide spread of aspect ratios: square ``hidden x hidden`` projections, wide
+``hidden x 4*hidden`` FFN panels, and small skinny ``seq x head_dim``
+attention blocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.layer import ConvLayer
+
+
+def transformer_encoder_layers(
+    batch: int = 1,
+    seq_len: int = 128,
+    hidden: int = 768,
+    heads: int = 12,
+    ffn_hidden: int = None,
+    num_layers: int = 12,
+    prefix: str = "enc",
+) -> list:
+    """Matmul layers of a Transformer encoder stack as :class:`ConvLayer` list."""
+    if hidden % heads != 0:
+        raise ValueError(f"hidden ({hidden}) must be divisible by heads ({heads})")
+    if ffn_hidden is None:
+        ffn_hidden = 4 * hidden
+    head_dim = hidden // heads
+    tokens = batch * seq_len
+
+    layers = []
+    for index in range(num_layers):
+        name = f"{prefix}{index:02d}"
+        for projection in ("q_proj", "k_proj", "v_proj"):
+            layers.append(ConvLayer.from_fc(f"{name}/{projection}", tokens, hidden, hidden))
+        for sequence in range(batch):
+            for head in range(heads):
+                suffix = f"s{sequence}_h{head:02d}"
+                layers.append(
+                    ConvLayer.from_fc(f"{name}/scores_{suffix}", seq_len, head_dim, seq_len)
+                )
+                layers.append(
+                    ConvLayer.from_fc(f"{name}/context_{suffix}", seq_len, seq_len, head_dim)
+                )
+        layers.append(ConvLayer.from_fc(f"{name}/out_proj", tokens, hidden, hidden))
+        layers.append(ConvLayer.from_fc(f"{name}/ffn_in", tokens, hidden, ffn_hidden))
+        layers.append(ConvLayer.from_fc(f"{name}/ffn_out", tokens, ffn_hidden, hidden))
+    return layers
+
+
+def bert_base_layers(batch: int = 1, seq_len: int = 128) -> list:
+    """BERT-base: 12 encoder layers, hidden 768, 12 heads, FFN 3072."""
+    return transformer_encoder_layers(
+        batch=batch, seq_len=seq_len, hidden=768, heads=12, ffn_hidden=3072, num_layers=12
+    )
+
+
+def bert_large_layers(batch: int = 1, seq_len: int = 128) -> list:
+    """BERT-large: 24 encoder layers, hidden 1024, 16 heads, FFN 4096."""
+    return transformer_encoder_layers(
+        batch=batch, seq_len=seq_len, hidden=1024, heads=16, ffn_hidden=4096, num_layers=24
+    )

@@ -67,6 +67,26 @@ def vgg16_fc_layers(batch: int = PAPER_BATCH_SIZE) -> list:
     ]
 
 
+def is_vgg16_conv_workload(layers) -> bool:
+    """Whether every layer is a VGG-16 conv layer (full stack or a subset).
+
+    The Eyeriss / FlexFlow comparison constants (reported DRAM volumes,
+    seconds per image, per-layer input compression ratios) are measurements
+    of *this* workload; drivers use this check to suppress those rows for
+    any other registered network instead of printing meaningless ratios.
+    Layers match by name *and* shape (batch-agnostic, since the per-image
+    constants scale with batch).
+    """
+    layers = list(layers)
+    if not layers:
+        return False
+    reference = {layer.name: layer for layer in vgg16_conv_layers(batch=1)}
+    return all(
+        layer.name in reference and layer.with_batch(1) == reference[layer.name]
+        for layer in layers
+    )
+
+
 def vgg16_layer(index: int, batch: int = PAPER_BATCH_SIZE) -> ConvLayer:
     """Convolutional layer by 1-based index (the paper numbers layers 1-13)."""
     layers = vgg16_conv_layers(batch)

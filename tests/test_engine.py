@@ -233,6 +233,73 @@ class TestPersistence:
         stale.search(get_dataflow("Ours"), layer, 8192)
         assert stale.stats.misses == 1, "stale entries must not be served"
 
+    def test_schema_mismatched_cache_is_discarded(self, tmp_path, layer):
+        """A pickle with an incompatible entry schema must start cold, not serve."""
+        import pickle
+
+        path = tmp_path / "cache.pkl"
+        cold = SearchEngine(cache_path=str(path))
+        cold.search(get_dataflow("Ours"), layer, 8192)
+        cold.save()
+        # Rewrite as if an older code base with a different DataflowResult
+        # layout (schema 0) produced the file.
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["schema"] = 0
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with pytest.warns(UserWarning, match="entry schema"):
+            stale = SearchEngine(cache_path=str(path))
+        stale.search(get_dataflow("Ours"), layer, 8192)
+        assert stale.stats.misses == 1, "schema-mismatched entries must not be served"
+
+    def test_pre_schema_cache_file_is_discarded(self, tmp_path, layer):
+        """Files written before the schema field existed lack it entirely."""
+        import pickle
+
+        path = tmp_path / "cache.pkl"
+        cold = SearchEngine(cache_path=str(path))
+        cold.search(get_dataflow("Ours"), layer, 8192)
+        cold.save()
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        del payload["schema"]
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with pytest.warns(UserWarning, match="entry schema"):
+            SearchEngine(cache_path=str(path))
+
+    def test_corrupted_entries_round_trip_to_cold_then_warm(self, tmp_path, layer):
+        """Garbage entries behind a valid header are rejected, then healed.
+
+        Round trip: save valid -> corrupt one entry value -> reload warns and
+        starts cold -> save again -> reload is warm and serves the result.
+        """
+        import pickle
+
+        path = tmp_path / "cache.pkl"
+        cold = SearchEngine(cache_path=str(path))
+        result = cold.search(get_dataflow("Ours"), layer, 8192)
+        cold.save()
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        key = next(iter(payload["entries"]))
+        payload["entries"][key] = {"not": "a DataflowResult"}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with pytest.warns(UserWarning, match="malformed entry"):
+            recovered = SearchEngine(cache_path=str(path))
+        assert recovered.search(get_dataflow("Ours"), layer, 8192) == result
+        assert recovered.stats.misses == 1
+        recovered.save()
+
+        warm = SearchEngine(cache_path=str(path))
+        assert warm.search(get_dataflow("Ours"), layer, 8192) == result
+        assert warm.stats.hits == 1 and warm.stats.misses == 0
+
     def test_infeasible_entries_persist(self, tmp_path):
         path = str(tmp_path / "cache.pkl")
         layer = ConvLayer("l", 1, 8, 20, 20, 16, 3, 3)

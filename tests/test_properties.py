@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on the core invariants."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -136,6 +134,74 @@ class TestTrafficProperties:
         for item in breakdowns:
             total = total + item
         assert total.total == pytest.approx(sum(item.total for item in breakdowns))
+
+
+class TestRandomNetworkSearchProperties:
+    """Search-level invariants over random networks, for every dataflow.
+
+    The sound floors (validated across every registered workload) are the
+    paper's Theorem 2 bound and the once-through weight+output volume; the
+    achievable Eq. (15) form is a reference, not a floor -- layers whose
+    operand tensors fit on-chip legitimately undercut it (see
+    ``test_workload_registry.py``).
+    """
+
+    SEEDS = (1, 7, 13, 42)
+    CAPACITIES = (2048, 16384)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_feasible_dataflow_respects_bounds(self, seed):
+        from repro.core.lower_bound import theorem2_lower_bound
+        from repro.dataflows.registry import ALL_DATAFLOWS
+        from repro.engine import SearchEngine
+        from repro.workloads.generator import random_network
+
+        engine = SearchEngine()
+        layers = random_network(seed, depth=4, max_channels=24, max_spatial=20)
+        for capacity in self.CAPACITIES:
+            results = engine.search_many(
+                [(dataflow, layer, capacity) for layer in layers for dataflow in ALL_DATAFLOWS]
+            )
+            for index, layer in enumerate(layers):
+                window = results[index * len(ALL_DATAFLOWS) : (index + 1) * len(ALL_DATAFLOWS)]
+                feasible = [result for result in window if result is not None]
+                assert feasible, "at least one dataflow must fit these small layers"
+                floor = max(
+                    theorem2_lower_bound(layer, capacity),
+                    layer.num_weights + layer.num_outputs,
+                )
+                for result in feasible:
+                    assert result.total >= floor - 1e-6
+                # found_minimum is exactly the cheapest feasible result.
+                minimum = engine.found_minimum(layer, capacity)
+                assert minimum.total == min(result.total for result in feasible)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_engine_bit_identical_to_serial(self, seed):
+        from repro.dataflows.registry import ALL_DATAFLOWS
+        from repro.engine import SearchEngine
+        from repro.workloads.generator import random_network
+
+        layers = random_network(seed, depth=3, max_channels=16, max_spatial=16)
+        tasks = [
+            (dataflow, layer, capacity)
+            for layer in layers
+            for dataflow in ALL_DATAFLOWS
+            for capacity in self.CAPACITIES
+        ]
+        serial = SearchEngine(workers=1).search_many(tasks)
+        parallel = SearchEngine(workers=2).search_many(tasks)
+        assert serial == parallel
+
+    def test_bound_monotone_under_batch_growth(self):
+        from repro.core.lower_bound import theorem2_lower_bound
+        from repro.workloads.generator import random_network
+
+        for layer in random_network(3, depth=3):
+            grown = layer.with_batch(layer.batch * 2)
+            assert theorem2_lower_bound(grown, 4096) == pytest.approx(
+                2 * theorem2_lower_bound(layer, 4096)
+            )
 
 
 class TestFunctionalSimulatorProperty:

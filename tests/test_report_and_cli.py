@@ -137,3 +137,74 @@ class TestCliEngineFlags:
         before = get_default_engine()
         assert main(["table1", "--no-cache"]) == 0
         assert get_default_engine() is before
+
+
+class TestCliWorkloadFlag:
+    def test_workloads_subcommand_lists_registry(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("vgg16", "alexnet", "resnet18", "mobilenet_v1", "googlenet", "bert_base"):
+            assert name in out
+
+    def test_fig13_accepts_workload_and_batch_spec(self, capsys):
+        assert main(["fig13", "--workload", "tiny:2", "--capacities", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out and "Found minimum" in out
+
+    def test_fig14_accepts_workload_and_capacity(self, capsys):
+        assert main(["fig14", "--workload", "tiny", "--capacity", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny_3x3" in out and "4.0 KB" in out
+
+    @pytest.mark.parametrize("experiment", ["fig16", "table4", "fig17", "fig19", "fig20"])
+    def test_model_experiments_accept_workload(self, experiment, capsys):
+        assert main([experiment, "--workload", "tiny"]) == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestCliErrorPaths:
+    """Operator mistakes exit non-zero with one clear line, never a traceback."""
+
+    def test_unknown_workload_name(self, capsys):
+        assert main(["fig13", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'nope'" in err
+        assert "Traceback" not in err
+
+    def test_malformed_workload_batch(self, capsys):
+        assert main(["fig13", "--workload", "vgg16:three"]) == 2
+        err = capsys.readouterr().err
+        assert "batch must be an integer" in err
+
+    def test_infeasible_capacity(self, capsys):
+        assert main(["fig14", "--workload", "tiny", "--capacity", "0.001"]) == 2
+        err = capsys.readouterr().err
+        assert "no tiling" in err
+        assert "Traceback" not in err
+
+    def test_negative_workers(self, capsys):
+        assert main(["table1", "--workers", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "workers must be >= 1" in err
+        assert "Traceback" not in err
+
+
+class TestCliGoldens:
+    def test_goldens_write_then_check(self, tmp_path, capsys, monkeypatch):
+        import repro.analysis.goldens as goldens_module
+
+        monkeypatch.setattr(goldens_module, "GOLDEN_WORKLOADS", ("tiny",))
+        directory = str(tmp_path / "goldens")
+        assert main(["goldens", "--write", "--goldens-dir", directory]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["goldens", "--goldens-dir", directory]) == 0
+        assert "goldens[tiny]: ok" in capsys.readouterr().out
+
+    def test_goldens_check_fails_on_missing_dir(self, tmp_path, capsys, monkeypatch):
+        import repro.analysis.goldens as goldens_module
+
+        monkeypatch.setattr(goldens_module, "GOLDEN_WORKLOADS", ("tiny",))
+        assert main(["goldens", "--goldens-dir", str(tmp_path / "empty")]) == 1
+        captured = capsys.readouterr()
+        assert "missing" in captured.out
+        assert "goldens --write" in captured.err

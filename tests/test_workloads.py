@@ -80,6 +80,76 @@ class TestResNet18:
         assert all(layer.kernel_height == 1 and layer.window_reuse == 1.0 for layer in shortcuts)
 
 
+class TestMobileNetV1:
+    def test_total_macs_match_published_count(self):
+        # Howard et al. report ~569M mult-adds at 224x224, width 1.0.
+        from repro.workloads.mobilenet import mobilenet_v1_layers
+
+        macs = total_macs(mobilenet_v1_layers(batch=1))
+        assert 0.55e9 < macs < 0.60e9
+
+    def test_expanded_depthwise_counts(self):
+        from repro.workloads.mobilenet import mobilenet_v1_layers
+
+        layers = mobilenet_v1_layers()
+        depthwise = [l for l in layers if "_dw" in l.name]
+        pointwise = [l for l in layers if l.name.endswith("_pw")]
+        # 13 depthwise stages expand to one layer per input channel.
+        assert len(depthwise) == 32 + 64 + 128 + 128 + 256 + 256 + 5 * 512 + 512 + 1024
+        assert len(pointwise) == 13
+
+    def test_spatial_chain_ends_at_seven(self):
+        from repro.workloads.mobilenet import mobilenet_v1_layers
+
+        last_pw = [l for l in mobilenet_v1_layers() if l.name.endswith("_pw")][-1]
+        assert last_pw.in_height == 7 and last_pw.out_channels == 1024
+
+
+class TestGoogLeNet:
+    def test_layer_count(self):
+        from repro.workloads.googlenet import googlenet_conv_layers
+
+        # 3 stem convolutions + 9 inception modules x 6 branch convolutions.
+        assert len(googlenet_conv_layers()) == 3 + 9 * 6
+
+    def test_total_macs_reasonable(self):
+        from repro.workloads.googlenet import googlenet_conv_layers
+
+        macs = total_macs(googlenet_conv_layers(batch=1))
+        assert 1.3e9 < macs < 1.8e9
+
+    def test_module_output_channels_concatenate(self):
+        from repro.workloads.googlenet import googlenet_conv_layers
+
+        layers = {l.name: l for l in googlenet_conv_layers()}
+        out_3a = sum(
+            layers[f"inception_3a/{branch}"].out_channels
+            for branch in ("1x1", "3x3", "5x5", "pool_proj")
+        )
+        assert out_3a == 256  # 64 + 128 + 32 + 32
+        assert layers["inception_3b/1x1"].in_channels == 256
+
+
+class TestTransformer:
+    def test_bert_base_layer_count(self):
+        from repro.workloads.transformer import bert_base_layers
+
+        # Per encoder layer: 4 projections + 2 FFN + 12 heads x (scores, context).
+        assert len(bert_base_layers()) == 12 * (6 + 12 * 2)
+
+    def test_batch_scales_attention_replicas(self):
+        from repro.workloads.transformer import bert_base_layers
+
+        assert len(bert_base_layers(batch=2)) == 12 * (6 + 2 * 12 * 2)
+
+    def test_projection_tokens_fold_into_batch(self):
+        from repro.workloads.transformer import bert_base_layers
+
+        proj = next(l for l in bert_base_layers(batch=2) if l.name.endswith("q_proj"))
+        assert proj.batch == 2 * 128
+        assert proj.in_channels == proj.out_channels == 768
+
+
 class TestGenerator:
     def test_random_layer_is_valid(self):
         rng = random.Random(42)
