@@ -2,14 +2,22 @@
 
 These measure the cost of the building blocks a user calls interactively
 (tiling selection, exact traffic evaluation, one accelerator layer run, the
-functional simulator) so regressions in model complexity are visible.
+functional simulator) so regressions in model complexity are visible -- plus
+the headline perf gate of the vectorized search backend: the vgg16 fig13
+memory sweep must run at least 10x faster through the NumPy candidate grids
+than through the scalar reference loop, with bit-identical series.
 """
 
+import math
+import time
+
+from repro.analysis.sweep import memory_sweep
 from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import paper_implementation
 from repro.arch.functional import FunctionalSimulator
 from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
 from repro.core.tiling import Tiling
+from repro.engine import SearchEngine
 from repro.workloads.generator import small_test_layers
 from repro.workloads.vgg import vgg16_conv_layers
 
@@ -35,6 +43,55 @@ def test_speed_accelerator_layer(benchmark):
     model.run_layer(layer)  # warm the tiling cache once
     result = benchmark(model.run_layer, layer)
     assert result.dram.total > 0
+
+
+def test_speed_fig13_sweep_vectorized_vs_scalar():
+    """Perf gate: the vectorized backend on the paper's headline experiment.
+
+    Runs the full vgg16 fig13 memory sweep (16 capacity points, 13 layers,
+    all 8 dataflows) twice from a cold cache with a single worker: once
+    through the scalar reference backend and once through the NumPy
+    candidate grids.  The vectorized sweep must be >= 10x faster (measured
+    ~100x on an ordinary CI worker) *and* produce the exact same series --
+    the speedup is worthless if the numbers move.
+    """
+    capacities_kib = [16 * step for step in range(1, 17)]
+    layers = vgg16_conv_layers()
+
+    start = time.perf_counter()
+    scalar_sweep = memory_sweep(
+        capacities_kib=capacities_kib,
+        layers=layers,
+        engine=SearchEngine(workers=1, backend="python"),
+    )
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized_sweep = memory_sweep(
+        capacities_kib=capacities_kib,
+        layers=layers,
+        engine=SearchEngine(workers=1, backend="numpy"),
+    )
+    vectorized_seconds = time.perf_counter() - start
+
+    for name, values in scalar_sweep["series"].items():
+        for left, right in zip(values, vectorized_sweep["series"][name]):
+            assert (math.isnan(left) and math.isnan(right)) or left == right, (
+                f"series {name!r} moved under the vectorized backend"
+            )
+
+    speedup = scalar_seconds / vectorized_seconds
+    print(
+        f"\nvgg16 fig13 sweep ({len(capacities_kib)} capacities x "
+        f"{len(layers)} layers x 8 dataflows, cold cache, 1 worker):\n"
+        f"  scalar backend     {scalar_seconds:8.2f} s\n"
+        f"  vectorized backend {vectorized_seconds:8.2f} s\n"
+        f"  speedup            {speedup:8.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"vectorized sweep only {speedup:.1f}x faster than scalar "
+        f"({vectorized_seconds:.2f}s vs {scalar_seconds:.2f}s)"
+    )
 
 
 def test_speed_functional_simulator(benchmark):

@@ -47,8 +47,12 @@ def memory_sweep(
 
     The whole ``(dataflow, layer, capacity)`` grid is submitted to the
     engine as one batch, so the exhaustive searches run at most once per
-    unique triple (the found minimum reuses the per-dataflow results) and a
-    parallel engine fans the entire sweep out across its workers.
+    unique triple (the found minimum reuses the per-dataflow results), a
+    parallel engine fans the entire sweep out across its workers, and the
+    vectorized (NumPy) backend collapses each (dataflow, layer) pair's
+    capacity column into a single candidate-grid evaluation -- the whole
+    sweep then costs one grid evaluation per pair instead of
+    ``len(capacities)`` independent searches, with bit-identical results.
     """
     if capacities_kib is None:
         capacities_kib = [16 * i for i in range(1, 17)]
@@ -72,7 +76,7 @@ def memory_sweep(
         (dataflows[dataflow_index], layers[layer_index], capacities_words[capacity_index])
         for capacity_index, dataflow_index, layer_index in grid
     ]
-    results = dict(zip(grid, engine.search_many(tasks)))
+    results = dict(zip(grid, engine.search_tasks(tasks)))
 
     series = {"Lower bound": []}
     for dataflow in dataflows:
@@ -133,7 +137,7 @@ def per_layer_dram(
     dataflows = [get_dataflow("Ours")] + [get_dataflow(name) for name in baseline_names]
     models = [AcceleratorModel(config) for config in implementations]
 
-    searched = engine.search_many(
+    searched = engine.search_tasks(
         [(dataflow, layer, capacity_words) for layer in layers for dataflow in dataflows]
     )
     rows = []

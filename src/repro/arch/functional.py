@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # NumPy is optional for the analytic core; only the array helpers need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    np = None
 
 from repro.arch.memory import CountingMemory
 from repro.core.layer import ConvLayer
@@ -72,6 +75,8 @@ class FunctionalSimulator:
         weights: np.ndarray,
     ) -> FunctionalResult:
         """Execute ``layer`` on ``inputs``/``weights`` with the given tiling."""
+        if np is None:
+            raise ImportError("FunctionalSimulator.run requires numpy")
         expected_input_shape = (layer.batch, layer.in_channels, layer.in_height, layer.in_width)
         expected_weight_shape = (
             layer.out_channels,

@@ -13,10 +13,13 @@ Examples::
 
 Every search-based experiment routes through a
 :class:`repro.engine.SearchEngine`; ``--workers`` fans the exhaustive tiling
-searches out across processes, ``--no-cache`` disables memoization, and
-``--cache-file`` persists results so later invocations start warm.
-``--workload NAME[:batch]`` runs any figure on any workload registered in
-:mod:`repro.workloads.registry` (default: the paper's VGG-16 at batch 3).
+searches out across processes, ``--backend {auto,numpy,python}`` selects the
+vectorized (NumPy) or scalar-reference search backend (bit-identical
+results; ``auto`` uses numpy when installed), ``--no-cache`` disables
+memoization, and ``--cache-file`` persists results so later invocations
+start warm.  ``--workload NAME[:batch]`` runs any figure on any workload
+registered in :mod:`repro.workloads.registry` (default: the paper's VGG-16
+at batch 3).
 """
 
 from __future__ import annotations
@@ -202,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the tiling searches (0 = all cores, default 1)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "python"],
+        default="auto",
+        help="search backend: 'numpy' evaluates each dataflow's whole "
+        "candidate grid as arrays (one evaluation serves every capacity), "
+        "'python' is the scalar reference loop; results are bit-identical. "
+        "'auto' (default) picks numpy when installed",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable search memoization (every search runs cold)",
@@ -237,6 +249,7 @@ def build_engine(args) -> SearchEngine:
         workers=args.workers,
         cache=not args.no_cache,
         cache_path=args.cache_file,
+        backend=args.backend,
     )
 
 

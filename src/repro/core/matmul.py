@@ -22,7 +22,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
+try:  # NumPy is optional for the analytic core; only the array helpers need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    np = None
 
 from repro.core.layer import ceil_div
 
@@ -125,6 +128,8 @@ class CountingBlockedMatMul:
 
     def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Compute ``a @ b`` block by block, counting slow-memory traffic."""
+        if np is None:
+            raise ImportError("CountingBlockedMatMul.multiply requires numpy")
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise ValueError("incompatible matrix shapes")
         m, kk = a.shape

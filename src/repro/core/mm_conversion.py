@@ -22,9 +22,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # NumPy is optional for the analytic core; only the array helpers need it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    np = None
 
 from repro.core.layer import ConvLayer
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ImportError(
+            "this function operates on real arrays and requires numpy; "
+            "the analytic shape helpers in this module work without it"
+        )
 
 
 @dataclass(frozen=True)
@@ -80,6 +91,7 @@ def unfolding_expansion(layer: ConvLayer) -> float:
 
 def pad_input(inputs: np.ndarray, padding: int) -> np.ndarray:
     """Zero-pad an input tensor of shape ``(B, Ci, Hi, Wi)`` spatially."""
+    _require_numpy()
     if padding == 0:
         return inputs
     return np.pad(

@@ -150,6 +150,38 @@ def choose_tiling(
     The analytic tiling of Section IV-A seeds a local refinement search over
     neighbouring integer tilings; ``refine=False`` returns the seed directly.
     """
+    seed, fits = _seed_and_fits(
+        layer, on_chip_words, psum_words, input_buffer_words, weight_buffer_words
+    )
+
+    best = TilingChoice(seed, dataflow_traffic(layer, seed))
+    if not refine:
+        return best
+
+    candidates = _neighbourhood(layer, seed)
+    for tiling in candidates:
+        tiling = tiling.clip(layer)
+        if not fits(tiling):
+            continue
+        traffic = dataflow_traffic(layer, tiling)
+        if traffic.total < best.traffic.total:
+            best = TilingChoice(tiling, traffic)
+    return best
+
+
+def _seed_and_fits(
+    layer: ConvLayer,
+    on_chip_words: int,
+    psum_words,
+    input_buffer_words,
+    weight_buffer_words,
+):
+    """Shared prelude of both ``choose_tiling`` backends.
+
+    Returns the shrunken analytic seed and the scalar capacity predicate;
+    keeping this in one place is what keeps the scalar and vectorized
+    searches agreeing on which tilings are admissible.
+    """
     if on_chip_words < 8:
         raise ValueError("on-chip capacity too small for any tiling")
 
@@ -166,21 +198,7 @@ def choose_tiling(
         return True
 
     seed = analytic_tiling(layer, on_chip_words).clip(layer)
-    seed = _shrink_to_fit(layer, seed, fits)
-
-    best = TilingChoice(seed, dataflow_traffic(layer, seed))
-    if not refine:
-        return best
-
-    candidates = _neighbourhood(layer, seed)
-    for tiling in candidates:
-        tiling = tiling.clip(layer)
-        if not fits(tiling):
-            continue
-        traffic = dataflow_traffic(layer, tiling)
-        if traffic.total < best.traffic.total:
-            best = TilingChoice(tiling, traffic)
-    return best
+    return _shrink_to_fit(layer, seed, fits), fits
 
 
 def _shrink_to_fit(layer: ConvLayer, tiling: Tiling, fits) -> Tiling:
@@ -234,3 +252,106 @@ def _around(value: int, limit: int) -> list:
 def traffic_at_capacity(layer: ConvLayer, on_chip_words: int) -> TrafficBreakdown:
     """Convenience wrapper: best-found traffic of the dataflow at capacity ``S``."""
     return choose_tiling(layer, on_chip_words).traffic
+
+
+# --------------------------------------------------------- vectorized backend
+
+
+def choose_tiling_grid(
+    layer: ConvLayer,
+    on_chip_words: int,
+    psum_words: int = None,
+    input_buffer_words: int = None,
+    weight_buffer_words: int = None,
+) -> TilingChoice:
+    """NumPy-vectorized :func:`choose_tiling`, bit-identical to the scalar one.
+
+    The analytic seed and its :func:`_shrink_to_fit` repair stay scalar (they
+    are O(1)); the expensive part -- evaluating the exact Eq. (14) traffic of
+    every tiling in the refinement neighbourhood -- is done as array
+    arithmetic.  The nested-loop accumulation of :func:`_exact_traffic` is
+    separable over the four tiled dimensions, which gives the closed form
+
+    ``input_reads  = Ci * B * Nz * (D*Ho + (Hk-D)*Ny) * (D*Wo + (Wk-D)*Nx)``
+    ``weight_reads = Hk*Wk * Ci * Co * Nb * Ny * Nx``
+
+    with ``N* = ceil(extent / tile)`` -- exact integers, identical to summing
+    the boundary-clipped tiles one by one.  Ties follow the scalar rule: the
+    seed wins, then the earliest neighbourhood candidate (``numpy.argmin``
+    returns the first minimum, the scalar loop replaces only on strictly
+    smaller totals).
+    """
+    from repro.dataflows.grid import meshgrid_ravel, require_numpy
+
+    np = require_numpy()
+    seed, _ = _seed_and_fits(
+        layer, on_chip_words, psum_words, input_buffer_words, weight_buffer_words
+    )
+
+    # Candidate arrays in scalar enumeration order, the seed prepended at
+    # index 0 (the scalar search starts from the seed unconditionally, even
+    # when the shrunken seed still violates the capacity predicate).
+    b, z, y, x = meshgrid_ravel(
+        _around(seed.b, layer.batch),
+        _around(seed.z, layer.out_channels),
+        _around(seed.y, layer.out_height),
+        _around(seed.x, layer.out_width),
+    )
+    b = np.concatenate(([seed.b], b))
+    z = np.concatenate(([seed.z], z))
+    y = np.concatenate(([seed.y], y))
+    x = np.concatenate(([seed.x], x))
+    # clip(layer): _around already clamps to [1, extent], the seed is clipped;
+    # applied anyway so the arrays cannot drift from the scalar semantics.
+    b = np.minimum(b, layer.batch)
+    z = np.minimum(z, layer.out_channels)
+    y = np.minimum(y, layer.out_height)
+    x = np.minimum(x, layer.out_width)
+
+    # Array form of the `fits` predicate from _seed_and_fits, term for term
+    # (all candidates have k = 1): Tiling.on_chip_footprint = Psum block
+    # (output_block_size) + staged inputs (b * x' * y' * k) + staged weights
+    # (z * k), then the optional per-buffer caps on the same three terms.
+    rows = (y - 1) * layer.stride + layer.kernel_height
+    cols = (x - 1) * layer.stride + layer.kernel_width
+    staged_inputs = b * rows * cols
+    psum_block = b * x * y * z
+    mask = (psum_block + staged_inputs + z) <= on_chip_words
+    if psum_words is not None:
+        mask &= psum_block <= psum_words
+    if input_buffer_words is not None:
+        mask &= staged_inputs <= input_buffer_words
+    if weight_buffer_words is not None:
+        mask &= z <= weight_buffer_words
+    mask[0] = True  # the seed is the incumbent regardless of feasibility
+
+    ceil = lambda extent, tile: -(-extent // tile)  # noqa: E731 - array ceil-div
+    num_b = ceil(layer.batch, b)
+    num_z = ceil(layer.out_channels, z)
+    num_y = ceil(layer.out_height, y)
+    num_x = ceil(layer.out_width, x)
+    stride, kh, kw = layer.stride, layer.kernel_height, layer.kernel_width
+    input_reads = (
+        layer.in_channels
+        * layer.batch
+        * num_z
+        * (stride * layer.out_height + (kh - stride) * num_y)
+        * (stride * layer.out_width + (kw - stride) * num_x)
+    )
+    weight_reads = kh * kw * layer.in_channels * layer.out_channels * num_b * num_y * num_x
+    output_writes = float(layer.num_outputs)
+
+    input_f = input_reads.astype(np.float64)
+    weight_f = weight_reads.astype(np.float64)
+    # Same association order as TrafficBreakdown.total.
+    totals = ((input_f + weight_f) + 0.0) + output_writes
+
+    best = int(np.argmin(np.where(mask, totals, np.inf)))
+    tiling = Tiling(b=int(b[best]), z=int(z[best]), y=int(y[best]), x=int(x[best]), k=1)
+    traffic = TrafficBreakdown(
+        input_reads=float(input_f[best]),
+        weight_reads=float(weight_f[best]),
+        output_reads=0.0,
+        output_writes=output_writes,
+    )
+    return TilingChoice(tiling, traffic)

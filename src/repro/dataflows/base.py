@@ -78,6 +78,43 @@ class Dataflow(ABC):
         """Sum of best-tiling traffic over a list of layers."""
         return sum_traffic([self.search(layer, capacity_words).traffic for layer in layers])
 
+    # ------------------------------------------------------- vectorized backend
+
+    def supports_grid(self) -> bool:
+        """Whether this dataflow implements the vectorized search backend.
+
+        True when the subclass either provides ``grid_arrays(layer)`` (dense
+        candidate grids, evaluated by :func:`repro.dataflows.grid.
+        grid_search`) or overrides :meth:`traffic_grid` outright.  Dataflows
+        without either always run through the scalar reference search.
+        """
+        return (
+            hasattr(self, "grid_arrays")
+            or type(self).traffic_grid is not Dataflow.traffic_grid
+        )
+
+    def traffic_grid(self, layer: ConvLayer, capacities) -> list:
+        """Vectorized multi-capacity search (NumPy backend).
+
+        Returns one :class:`DataflowResult` per entry of ``capacities``
+        (``None`` where no candidate tiling fits), **bit-identical** to
+        calling :meth:`search` once per capacity: same best total, and on
+        ties the same tiling -- the first candidate in scalar enumeration
+        order wins, matching the scalar loop's strictly-smaller update rule.
+
+        The default implementation evaluates the subclass's
+        ``grid_arrays(layer)`` candidate grid once and masks/argmins it per
+        capacity; requires NumPy.
+        """
+        # Imported here so the scalar models never depend on NumPy.
+        from repro.dataflows.grid import grid_search
+
+        if not hasattr(self, "grid_arrays"):
+            raise NotImplementedError(
+                f"{self.name} does not implement the vectorized search backend"
+            )
+        return grid_search(self, layer, capacities)
+
     def __repr__(self) -> str:
         return f"<Dataflow {self.name}>"
 
@@ -89,6 +126,17 @@ def candidate_extents(extent: int, max_candidates: int = 48) -> list:
     divisor-like values so the exhaustive searches stay fast while covering
     the space densely enough for the traffic functions (which are smooth in
     the tile sizes).
+
+    Both search backends (the scalar generators and the vectorized candidate
+    grids of :mod:`repro.dataflows.grid`) rely on these invariants:
+
+    * values are sorted, unique integers in ``[1, extent]``;
+    * ``1``, ``extent`` and every power of two ``<= extent`` are present;
+    * the list length is bounded by ``2 * max_candidates`` plus a
+      logarithmic slack: ``len <= 2 * max_candidates + log2(extent) + 2``
+      (the even-coverage stride contributes at most ``2 * max_candidates``
+      values, the power-of-two ladder at most ``log2(extent) + 1``, plus the
+      endpoint), so candidate grids stay polynomial in ``max_candidates``.
     """
     if extent <= max_candidates:
         return list(range(1, extent + 1))

@@ -1,0 +1,137 @@
+"""NumPy-vectorized tiling search shared by the grid-search dataflows.
+
+The scalar reference (:meth:`repro.dataflows.base.Dataflow.search`) walks the
+``tiling_space`` generator candidate by candidate.  For the Fig. 12 baselines
+that space is a dense grid -- the cross product of :func:`~repro.dataflows.
+base.candidate_extents` along each tiled dimension -- so the whole search can
+be evaluated as a handful of array expressions instead of a Python loop:
+
+1. materialise the candidate grid (``numpy.meshgrid`` of the per-dimension
+   extent lists, flattened in C order so index ``i`` of the flat arrays is the
+   ``i``-th candidate of the scalar generator);
+2. evaluate the on-chip footprint and all four traffic components for every
+   candidate in one shot, in exact ``int64`` arithmetic;
+3. for each requested capacity, mask the candidates whose footprint fits and
+   take the argmin of the totals.
+
+Because a single grid evaluation serves *any number* of capacities, an entire
+Fig. 13 memory sweep costs one grid evaluation per (dataflow, layer) pair
+instead of ``len(capacities)`` independent searches.
+
+Bit-identical guarantee
+-----------------------
+
+The vectorized backend returns *exactly* the scalar search's result, not an
+approximation of it:
+
+* every traffic component is an exact integer (the scalar models compute
+  Python ``int`` products and convert with ``float(...)`` once; the grid
+  computes the same integers in ``int64`` and converts with ``astype``, which
+  rounds identically for any value below 2**63);
+* totals are summed in the same order as
+  :attr:`~repro.core.traffic.TrafficBreakdown.total`
+  (``((inputs + weights) + output_reads) + output_writes``);
+* ties are broken deterministically: the **first candidate in scalar
+  enumeration order** wins, because ``numpy.argmin`` returns the first
+  occurrence of the minimum and the scalar loop only replaces its incumbent
+  on a strictly smaller total.
+
+NumPy is an *optional* dependency: this module imports without it and
+:func:`numpy_available` reports whether the vectorized backend can run.  The
+scalar search remains the always-available reference implementation.
+"""
+
+from __future__ import annotations
+
+try:  # NumPy is optional; the scalar backend covers its absence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    _np = None
+
+from repro.core.layer import ConvLayer
+from repro.dataflows.base import DataflowResult
+from repro.core.traffic import TrafficBreakdown
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized (NumPy) search backend can run."""
+    return _np is not None
+
+
+def require_numpy():
+    """Return the ``numpy`` module or raise a clear error when absent."""
+    if _np is None:
+        raise RuntimeError(
+            "the vectorized search backend requires numpy, which is not "
+            "installed; use the scalar backend ('python') instead"
+        )
+    return _np
+
+
+def meshgrid_ravel(*value_lists):
+    """Cross product of candidate-value lists as flat ``int64`` arrays.
+
+    The lists are combined exactly like the scalar dataflows' nested
+    ``for`` loops (first list outermost, last list innermost), so flat index
+    ``i`` corresponds to the ``i``-th candidate yielded by ``tiling_space``.
+    """
+    np = require_numpy()
+    axes = [np.asarray(values, dtype=np.int64) for values in value_lists]
+    if len(axes) == 1:
+        return (axes[0],)
+    grids = np.meshgrid(*axes, indexing="ij")
+    return tuple(grid.ravel() for grid in grids)
+
+
+def ceil_div(a, b):
+    """Elementwise ceiling division on integer arrays (or scalars)."""
+    return -(-a // b)
+
+
+def grid_search(dataflow, layer: ConvLayer, capacities) -> list:
+    """Vectorized multi-capacity search over a dataflow's candidate grid.
+
+    ``dataflow`` must provide ``grid_arrays(layer)`` returning
+
+    ``(axes, footprint, (input_reads, weight_reads, output_reads,
+    output_writes))``
+
+    where ``axes`` is a list of ``(tiling key, int64 array)`` pairs in the
+    order the scalar tiling dict lists them, ``footprint`` is the on-chip
+    words each candidate occupies and the four traffic components are exact
+    ``int64`` arrays, all flattened in scalar enumeration order.
+
+    Returns one :class:`~repro.dataflows.base.DataflowResult` per capacity
+    (``None`` where no candidate fits), bit-identical to the scalar search.
+    """
+    np = require_numpy()
+    axes, footprint, components = dataflow.grid_arrays(layer)
+    floats = [component.astype(np.float64) for component in components]
+    input_reads, weight_reads, output_reads, output_writes = floats
+    # Same association order as TrafficBreakdown.total so ties and rounding
+    # behave exactly like the scalar comparisons.
+    totals = ((input_reads + weight_reads) + output_reads) + output_writes
+
+    results = []
+    for capacity_words in capacities:
+        capacity = int(capacity_words)
+        mask = footprint <= capacity
+        if not mask.any():
+            results.append(None)
+            continue
+        best = int(np.argmin(np.where(mask, totals, np.inf)))
+        results.append(
+            DataflowResult(
+                dataflow=dataflow.name,
+                layer_name=layer.name,
+                capacity_words=capacity,
+                tiling={name: int(values[best]) for name, values in axes},
+                traffic=TrafficBreakdown(
+                    input_reads=float(input_reads[best]),
+                    weight_reads=float(weight_reads[best]),
+                    output_reads=float(output_reads[best]),
+                    output_writes=float(output_writes[best]),
+                ),
+            )
+        )
+    return results

@@ -26,6 +26,13 @@ def _patch(layer: ConvLayer, x: int, y: int) -> int:
     return rows * cols
 
 
+def _patch_arrays(layer: ConvLayer, x, y):
+    """Elementwise :func:`_patch` over candidate arrays (same formula)."""
+    rows = (y - 1) * layer.stride + layer.kernel_height
+    cols = (x - 1) * layer.stride + layer.kernel_width
+    return rows * cols
+
+
 class InRA(Dataflow):
     """Input-stationary over a (channels x spatial patch) block."""
 
@@ -53,6 +60,30 @@ class InRA(Dataflow):
             output_writes=float(layer.num_outputs * channel_blocks),
         )
 
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        k, y, x = grid.meshgrid_ravel(
+            candidate_extents(layer.in_channels),
+            candidate_extents(layer.out_height),
+            candidate_extents(layer.out_width),
+        )
+        patch = _patch_arrays(layer, x, y)
+        spatial_blocks = grid.ceil_div(layer.out_height, y) * grid.ceil_div(layer.out_width, x)
+        channel_blocks = grid.ceil_div(layer.in_channels, k)
+        blocks = layer.batch * spatial_blocks * channel_blocks
+        kernel_area = layer.kernel_height * layer.kernel_width
+        return (
+            [("k", k), ("y", y), ("x", x)],
+            k * patch,
+            (
+                blocks * k * patch,
+                layer.batch * spatial_blocks * layer.out_channels * layer.in_channels * kernel_area,
+                layer.num_outputs * (channel_blocks - 1),
+                layer.num_outputs * channel_blocks,
+            ),
+        )
+
 
 class InRB(Dataflow):
     """Input-stationary over complete channel planes."""
@@ -73,6 +104,25 @@ class InRB(Dataflow):
             weight_reads=float(layer.batch * layer.num_weights),
             output_reads=float(layer.num_outputs * (channel_blocks - 1)),
             output_writes=float(layer.num_outputs * channel_blocks),
+        )
+
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        np = grid.require_numpy()
+        plane = layer.in_height * layer.in_width
+        (k,) = grid.meshgrid_ravel(candidate_extents(layer.in_channels))
+        channel_blocks = grid.ceil_div(layer.in_channels, k)
+        constant = np.full_like(k, 1)
+        return (
+            [("k", k)],
+            k * plane,
+            (
+                constant * layer.num_inputs,
+                constant * (layer.batch * layer.num_weights),
+                layer.num_outputs * (channel_blocks - 1),
+                layer.num_outputs * channel_blocks,
+            ),
         )
 
 
@@ -96,4 +146,25 @@ class InRC(Dataflow):
             weight_reads=float(blocks * layer.num_weights),
             output_reads=0.0,
             output_writes=float(layer.num_outputs),
+        )
+
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        y, x = grid.meshgrid_ravel(
+            candidate_extents(layer.out_height),
+            candidate_extents(layer.out_width),
+        )
+        patch = _patch_arrays(layer, x, y)
+        spatial_blocks = grid.ceil_div(layer.out_height, y) * grid.ceil_div(layer.out_width, x)
+        blocks = layer.batch * spatial_blocks
+        return (
+            [("y", y), ("x", x)],
+            layer.in_channels * patch,
+            (
+                blocks * layer.in_channels * patch,
+                blocks * layer.num_weights,
+                0 * blocks,
+                0 * blocks + layer.num_outputs,
+            ),
         )

@@ -12,10 +12,10 @@ is known in closed form.
 from __future__ import annotations
 
 from repro.core.layer import ConvLayer
-from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.optimal_dataflow import choose_tiling, choose_tiling_grid, dataflow_traffic
 from repro.core.tiling import Tiling
 from repro.core.traffic import TrafficBreakdown
-from repro.dataflows.base import Dataflow
+from repro.dataflows.base import Dataflow, DataflowResult
 
 
 class OptimalDataflow(Dataflow):
@@ -56,3 +56,39 @@ class OptimalDataflow(Dataflow):
 
     def traffic(self, layer: ConvLayer, capacity_words: int, tiling: dict) -> TrafficBreakdown:
         return dataflow_traffic(layer, Tiling(**tiling))
+
+    def traffic_grid(self, layer: ConvLayer, capacities) -> list:
+        """Vectorized multi-capacity search (see :meth:`Dataflow.traffic_grid`).
+
+        Unlike the Fig. 12 baselines there is no dense candidate grid to
+        share across capacities -- the analytic seed and its refinement
+        neighbourhood depend on the capacity -- so each capacity runs one
+        :func:`~repro.core.optimal_dataflow.choose_tiling_grid` call, which
+        evaluates the whole neighbourhood as array arithmetic and is
+        bit-identical to the scalar :func:`choose_tiling`.
+        """
+        results = []
+        for capacity_words in capacities:
+            capacity = int(capacity_words)
+            try:
+                choice = choose_tiling_grid(
+                    layer,
+                    capacity,
+                    psum_words=self.psum_words,
+                    input_buffer_words=self.input_buffer_words,
+                    weight_buffer_words=self.weight_buffer_words,
+                )
+            except ValueError:
+                results.append(None)
+                continue
+            tiling = choice.tiling
+            results.append(
+                DataflowResult(
+                    dataflow=self.name,
+                    layer_name=layer.name,
+                    capacity_words=capacity,
+                    tiling={"b": tiling.b, "z": tiling.z, "y": tiling.y, "x": tiling.x, "k": tiling.k},
+                    traffic=choice.traffic,
+                )
+            )
+        return results

@@ -52,6 +52,33 @@ class OutRA(Dataflow):
             output_writes=float(layer.num_outputs),
         )
 
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        y, x = grid.meshgrid_ravel(
+            candidate_extents(layer.out_height),
+            candidate_extents(layer.out_width),
+        )
+        rows = (y - 1) * layer.stride + layer.kernel_height
+        cols = (x - 1) * layer.stride + layer.kernel_width
+        blocks = (
+            layer.batch
+            * layer.out_channels
+            * grid.ceil_div(layer.out_height, y)
+            * grid.ceil_div(layer.out_width, x)
+        )
+        kernel_words = layer.kernel_height * layer.kernel_width * layer.in_channels
+        return (
+            [("x", x), ("y", y)],
+            x * y,
+            (
+                blocks * rows * cols * layer.in_channels,
+                blocks * kernel_words,
+                0 * blocks,
+                0 * blocks + layer.num_outputs,
+            ),
+        )
+
 
 class OutRB(Dataflow):
     """Output-stationary across all output channels at a spatial tile."""
@@ -74,4 +101,25 @@ class OutRB(Dataflow):
             weight_reads=float(blocks * layer.num_weights),
             output_reads=0.0,
             output_writes=float(layer.num_outputs),
+        )
+
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        y, x = grid.meshgrid_ravel(
+            candidate_extents(layer.out_height),
+            candidate_extents(layer.out_width),
+        )
+        rows = (y - 1) * layer.stride + layer.kernel_height
+        cols = (x - 1) * layer.stride + layer.kernel_width
+        blocks = layer.batch * grid.ceil_div(layer.out_height, y) * grid.ceil_div(layer.out_width, x)
+        return (
+            [("x", x), ("y", y)],
+            x * y * layer.out_channels,
+            (
+                blocks * rows * cols * layer.in_channels,
+                blocks * layer.num_weights,
+                0 * blocks,
+                0 * blocks + layer.num_outputs,
+            ),
         )

@@ -7,9 +7,11 @@ dataflows (the FlexFlow / SmartShuttle approach) buys very little once the
 optimal tiling rule is known.
 
 All searches route through a :class:`repro.engine.SearchEngine`, which
-memoizes results across calls and can fan independent searches out over
-worker processes.  Passing ``engine=None`` uses the process-wide default
-engine (serial, in-memory cache).
+memoizes results across calls, can fan independent searches out over worker
+processes, and executes misses on either of two bit-identical backends (the
+NumPy-vectorized candidate grids or the scalar reference loop; see
+:mod:`repro.dataflows.grid`).  Passing ``engine=None`` uses the
+process-wide default engine (serial, in-memory cache, ``backend="auto"``).
 """
 
 from __future__ import annotations

@@ -43,6 +43,28 @@ class WtRA(Dataflow):
             output_writes=float(layer.num_outputs * channel_blocks),
         )
 
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        kernel_area = layer.kernel_height * layer.kernel_width
+        z, k = grid.meshgrid_ravel(
+            candidate_extents(layer.out_channels),
+            candidate_extents(layer.in_channels),
+        )
+        kernel_blocks = grid.ceil_div(layer.out_channels, z)
+        channel_blocks = grid.ceil_div(layer.in_channels, k)
+        input_plane = layer.batch * layer.in_height * layer.in_width
+        return (
+            [("z", z), ("k", k)],
+            z * k * kernel_area,
+            (
+                kernel_blocks * layer.in_channels * input_plane,
+                0 * z + layer.num_weights,
+                layer.num_outputs * (channel_blocks - 1),
+                layer.num_outputs * channel_blocks,
+            ),
+        )
+
 
 class WtRB(Dataflow):
     """Weight-stationary over complete kernels."""
@@ -63,4 +85,21 @@ class WtRB(Dataflow):
             weight_reads=float(layer.num_weights),
             output_reads=0.0,
             output_writes=float(layer.num_outputs),
+        )
+
+    def grid_arrays(self, layer: ConvLayer):
+        from repro.dataflows import grid
+
+        kernel_words = layer.kernel_height * layer.kernel_width * layer.in_channels
+        (z,) = grid.meshgrid_ravel(candidate_extents(layer.out_channels))
+        kernel_blocks = grid.ceil_div(layer.out_channels, z)
+        return (
+            [("z", z)],
+            z * kernel_words,
+            (
+                kernel_blocks * layer.num_inputs,
+                0 * z + layer.num_weights,
+                0 * z,
+                0 * z + layer.num_outputs,
+            ),
         )

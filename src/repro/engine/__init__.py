@@ -18,7 +18,7 @@ from repro.engine.cache import (
     layer_signature,
     task_key,
 )
-from repro.engine.engine import SearchEngine, resolve_workers
+from repro.engine.engine import BACKENDS, SearchEngine, resolve_backend, resolve_workers
 
 _default_engine = None
 
@@ -40,6 +40,7 @@ def set_default_engine(engine: SearchEngine) -> SearchEngine:
 
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
     "INFEASIBLE",
     "SearchCache",
@@ -47,6 +48,7 @@ __all__ = [
     "dataflow_signature",
     "get_default_engine",
     "layer_signature",
+    "resolve_backend",
     "resolve_workers",
     "set_default_engine",
     "task_key",

@@ -123,13 +123,26 @@ def task_key(dataflow, layer: ConvLayer, capacity_words: int) -> tuple:
 class CacheStats:
     """Hit/miss accounting for one :class:`~repro.engine.engine.SearchEngine`.
 
-    ``hits + misses`` always equals the number of search tasks submitted:
-    a *miss* is a search that actually ran, a *hit* is a task served from the
+    ``hits + misses`` always equals the number of search tasks submitted,
+    whatever path submitted them (single ``search`` calls, ``found_minimum``,
+    ``search_many`` capacity sweeps or whole-figure task batches): a *miss*
+    is a task whose search actually ran, a *hit* is a task served from the
     cache or deduplicated against an identical task in the same batch.
+
+    ``grid_evaluations`` counts the NumPy backend's vectorized
+    ``traffic_grid`` invocations -- one per ``(dataflow, layer)`` group,
+    covering *every* missed capacity of that pair at once -- so the sweep
+    paths report both how many tasks ran (``misses``) and how many backend
+    invocations that took (``grid_evaluations``).  For the grid dataflows
+    one invocation is literally one candidate-grid evaluation; ``Ours``
+    evaluates a capacity-dependent refinement neighbourhood per capacity
+    inside its single invocation (its candidate set is analytic, not a
+    shared dense grid).
     """
 
     hits: int = 0
     misses: int = 0
+    grid_evaluations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -140,14 +153,23 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "grid_evaluations": self.grid_evaluations,
+        }
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.grid_evaluations = 0
 
     def __str__(self) -> str:
-        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%} hit rate)"
+        return (
+            f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%} hit "
+            f"rate), {self.grid_evaluations} grid evaluations"
+        )
 
 
 @dataclass

@@ -7,9 +7,22 @@ the CLI and the benchmarks) runs ``dataflow.search(layer, capacity)``:
 * results are memoized behind a :class:`~repro.engine.cache.SearchCache`
   keyed by ``(dataflow signature, layer signature, capacity_words)``, with
   hit/miss statistics and optional on-disk persistence;
+* two interchangeable execution backends produce **bit-identical** results:
+  the always-available scalar reference (``backend="python"``, the original
+  pure-Python candidate loop) and a NumPy-vectorized backend
+  (``backend="numpy"``) that materializes each dataflow's whole candidate
+  grid as arrays and answers every missed capacity of a ``(dataflow,
+  layer)`` pair with a single grid evaluation (see
+  :mod:`repro.dataflows.grid`).  ``backend="auto"`` (the default) picks
+  NumPy when it is importable and falls back to the scalar path otherwise;
 * independent tasks fan out across a :class:`~concurrent.futures.
   ProcessPoolExecutor` when ``workers > 1``; with ``workers=1`` everything
   runs serially in-process, so tests stay deterministic and debuggable.
+
+Because the backends agree bit-for-bit, they also share cache entries: a
+cache populated by the scalar backend serves hits to the vectorized one and
+vice versa, on disk and in memory, under the same
+:data:`~repro.engine.cache.SCHEMA_VERSION`.
 
 Cached results are bit-identical to direct ``dataflow.search`` calls: the
 engine stores the :class:`~repro.dataflows.base.DataflowResult` itself and
@@ -26,6 +39,9 @@ from dataclasses import replace
 from repro.core.traffic import TrafficBreakdown, sum_traffic
 from repro.engine.cache import INFEASIBLE, CacheStats, SearchCache, task_key
 
+#: Accepted values of the ``backend`` option.
+BACKENDS = ("auto", "numpy", "python")
+
 
 def _execute_search(dataflow, layer, capacity_words):
     """Run one exhaustive search; map infeasibility to the cache sentinel.
@@ -38,6 +54,18 @@ def _execute_search(dataflow, layer, capacity_words):
         return INFEASIBLE
 
 
+def _execute_grid(dataflow, layer, capacities):
+    """Vectorized multi-capacity search for one ``(dataflow, layer)`` pair.
+
+    Returns one cache entry per capacity; module-level so a parallel engine
+    can fan grid evaluations out across worker processes.
+    """
+    return [
+        INFEASIBLE if result is None else result
+        for result in dataflow.traffic_grid(layer, capacities)
+    ]
+
+
 def resolve_workers(workers) -> int:
     """Normalise a worker-count option (``None``/``0`` mean "all cores")."""
     if workers is None or workers == 0:
@@ -46,6 +74,31 @@ def resolve_workers(workers) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1 (or 0/None for all cores), got {workers}")
     return workers
+
+
+def resolve_backend(backend) -> str:
+    """Normalise a backend option to ``"numpy"`` or ``"python"``.
+
+    ``"auto"`` (or ``None``) selects the vectorized backend when NumPy is
+    importable and the scalar reference otherwise; asking for ``"numpy"``
+    without NumPy installed is an error rather than a silent slowdown.
+    """
+    # Imported lazily: repro.dataflows imports this package back.
+    from repro.dataflows.grid import numpy_available
+
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKENDS:
+        choices = ", ".join(repr(choice) for choice in BACKENDS)
+        raise ValueError(f"backend must be one of {choices}, got {backend!r}")
+    if backend == "auto":
+        return "numpy" if numpy_available() else "python"
+    if backend == "numpy" and not numpy_available():
+        raise ValueError(
+            "backend 'numpy' requested but numpy is not installed; "
+            "use backend 'auto' or 'python'"
+        )
+    return backend
 
 
 class SearchEngine:
@@ -62,10 +115,21 @@ class SearchEngine:
     cache_path:
         Optional pickle file for the cache.  Existing entries are loaded at
         construction; call :meth:`save` to persist new ones.
+    backend:
+        ``"auto"`` (default), ``"numpy"`` or ``"python"``.  Selects how
+        missed searches execute; results are bit-identical either way, so
+        the choice only affects speed (see the module docstring).
     """
 
-    def __init__(self, workers: int = 1, cache: bool = True, cache_path: str = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: bool = True,
+        cache_path: str = None,
+        backend: str = "auto",
+    ):
         self.workers = resolve_workers(workers)
+        self.backend = resolve_backend(backend)
         self.cache = SearchCache(path=cache_path) if cache else None
         self.stats = CacheStats()
 
@@ -73,7 +137,7 @@ class SearchEngine:
 
     def try_search(self, dataflow, layer, capacity_words: int):
         """Best result for one task, or ``None`` when no tiling fits."""
-        return self.search_many([(dataflow, layer, capacity_words)])[0]
+        return self.search_tasks([(dataflow, layer, capacity_words)])[0]
 
     def search(self, dataflow, layer, capacity_words: int):
         """Best result for one task; raises ``ValueError`` when nothing fits."""
@@ -87,7 +151,23 @@ class SearchEngine:
 
     # ------------------------------------------------------------ batch tasks
 
-    def search_many(self, tasks) -> list:
+    def search_many(self, layer, capacities, dataflow) -> list:
+        """Best result of ``dataflow`` on ``layer`` for *each* capacity.
+
+        The multi-capacity twin of :meth:`search`: returns one
+        :class:`~repro.dataflows.base.DataflowResult` (or ``None`` when no
+        tiling fits) per entry of ``capacities``, in order.  Results are
+        bit-identical to calling :meth:`search` per capacity and share the
+        same cache entries; on the NumPy backend every capacity missed in
+        the cache is answered by a *single* vectorized evaluation of the
+        dataflow's candidate grid, so a whole Fig. 13 memory sweep costs one
+        grid evaluation per (dataflow, layer) pair.
+        """
+        return self.search_tasks(
+            [(dataflow, layer, capacity_words) for capacity_words in capacities]
+        )
+
+    def search_tasks(self, tasks) -> list:
         """Run ``(dataflow, layer, capacity_words)`` tasks, order-preserving.
 
         Duplicate tasks (and tasks already cached) are searched only once;
@@ -127,10 +207,34 @@ class SearchEngine:
         return results
 
     def _execute(self, pending: dict) -> dict:
-        """Run the deduplicated ``{key: task}`` map, serially or in a pool."""
+        """Run the deduplicated ``{key: task}`` map through the backend.
+
+        On the NumPy backend, grid-capable tasks are grouped by their
+        ``(dataflow, layer)`` signatures so each group costs one vectorized
+        grid evaluation regardless of how many capacities it covers;
+        everything else (and the whole map, on the scalar backend) runs
+        through the per-task reference search.
+        """
         if not pending:
             return {}
-        items = list(pending.items())
+        grid_groups = {}
+        scalar_items = []
+        for key, task in pending.items():
+            supports_grid = getattr(task[0], "supports_grid", None)
+            if self.backend == "numpy" and supports_grid is not None and supports_grid():
+                # key = (dataflow signature, layer signature, capacity): the
+                # first two components identify the group.
+                grid_groups.setdefault(key[:2], []).append((key, task))
+            else:
+                scalar_items.append((key, task))
+        entries = self._execute_scalar(scalar_items)
+        entries.update(self._execute_grids(list(grid_groups.values())))
+        return entries
+
+    def _execute_scalar(self, items: list) -> dict:
+        """Per-task reference searches, serially or across the process pool."""
+        if not items:
+            return {}
         if self.workers == 1 or len(items) == 1:
             return {
                 key: _execute_search(dataflow, layer, capacity)
@@ -148,6 +252,32 @@ class SearchEngine:
             )
             return {key: entry for (key, _), entry in zip(items, entries)}
 
+    def _execute_grids(self, groups: list) -> dict:
+        """Vectorized grid evaluations, one per ``(dataflow, layer)`` group."""
+        if not groups:
+            return {}
+        self.stats.grid_evaluations += len(groups)
+        entries = {}
+        if self.workers == 1 or len(groups) == 1:
+            for group in groups:
+                dataflow, layer = group[0][1][0], group[0][1][1]
+                capacities = [task[2] for _, task in group]
+                for (key, _), entry in zip(group, _execute_grid(dataflow, layer, capacities)):
+                    entries[key] = entry
+            return entries
+        max_workers = min(self.workers, len(groups))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            batches = pool.map(
+                _execute_grid,
+                [group[0][1][0] for group in groups],
+                [group[0][1][1] for group in groups],
+                [[task[2] for _, task in group] for group in groups],
+            )
+            for group, batch in zip(groups, batches):
+                for (key, _), entry in zip(group, batch):
+                    entries[key] = entry
+        return entries
+
     # -------------------------------------------------- higher-level searches
 
     def found_minimum(self, layer, capacity_words: int, dataflows=None):
@@ -158,7 +288,7 @@ class SearchEngine:
         """
         if dataflows is None:
             dataflows = self._all_dataflows()
-        results = self.search_many(
+        results = self.search_tasks(
             [(dataflow, layer, capacity_words) for dataflow in dataflows]
         )
         feasible = [result for result in results if result is not None]
@@ -183,7 +313,7 @@ class SearchEngine:
         dataflows = self._all_dataflows()
         # One batch over the whole (layer x dataflow) grid so a parallel
         # engine fans every search out at once.
-        results = self.search_many(
+        results = self.search_tasks(
             [
                 (candidate, layer, capacity_words)
                 for layer in layers
@@ -205,7 +335,7 @@ class SearchEngine:
     def per_layer_results(self, layers, capacity_words: int, dataflow) -> list:
         """Per-layer :class:`DataflowResult` list for one dataflow (all must fit)."""
         layers = self._resolve_layers(layers)
-        results = self.search_many([(dataflow, layer, capacity_words) for layer in layers])
+        results = self.search_tasks([(dataflow, layer, capacity_words) for layer in layers])
         for layer, result in zip(layers, results):
             if result is None:
                 raise ValueError(
@@ -246,4 +376,7 @@ class SearchEngine:
 
     def __repr__(self) -> str:
         cached = len(self.cache) if self.cache is not None else "off"
-        return f"<SearchEngine workers={self.workers} cache={cached} {self.stats}>"
+        return (
+            f"<SearchEngine workers={self.workers} backend={self.backend} "
+            f"cache={cached} {self.stats}>"
+        )

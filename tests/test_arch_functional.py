@@ -1,7 +1,8 @@
 """Tests for the functional simulator: numerical correctness and counter validation."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.arch.functional import FunctionalSimulator
 from repro.arch.memory import CapacityError

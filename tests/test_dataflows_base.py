@@ -46,6 +46,52 @@ class TestCandidateExtents:
         assert len(candidate_extents(512, max_candidates=48)) < 80
 
 
+class TestCandidateExtentsInvariants:
+    """The invariants grid construction relies on, over a dense extent range.
+
+    The vectorized backend (:mod:`repro.dataflows.grid`) materializes the
+    cross product of these lists as arrays, so it needs them sorted, unique,
+    within ``[1, extent]``, anchored (1, the extent, all powers of two) and
+    of bounded length -- the documented slack bound is
+    ``2 * max_candidates + log2(extent) + 2``.
+    """
+
+    EXTENTS = list(range(1, 130)) + [224, 250, 256, 500, 512, 1000, 1024, 4095, 4096]
+    MAX_CANDIDATES = (8, 48, 100)
+
+    def test_sorted_unique_in_range(self):
+        for extent in self.EXTENTS:
+            values = candidate_extents(extent)
+            assert values == sorted(set(values)), f"extent={extent}"
+            assert values[0] >= 1 and values[-1] <= extent, f"extent={extent}"
+            assert all(isinstance(value, int) for value in values)
+
+    def test_contains_one_extent_and_powers_of_two(self):
+        for extent in self.EXTENTS:
+            values = set(candidate_extents(extent))
+            assert 1 in values and extent in values, f"extent={extent}"
+            power = 1
+            while power <= extent:
+                assert power in values, f"extent={extent}: missing power {power}"
+                power *= 2
+
+    def test_length_within_documented_slack(self):
+        import math
+
+        for max_candidates in self.MAX_CANDIDATES:
+            for extent in self.EXTENTS:
+                values = candidate_extents(extent, max_candidates=max_candidates)
+                bound = 2 * max_candidates + int(math.log2(extent)) + 2
+                assert len(values) <= bound, (
+                    f"extent={extent}, max_candidates={max_candidates}: "
+                    f"{len(values)} candidates exceed the documented bound {bound}"
+                )
+
+    def test_small_extents_enumerated_exhaustively(self):
+        for extent in range(1, 49):
+            assert candidate_extents(extent) == list(range(1, extent + 1))
+
+
 class TestSearch:
     def test_search_picks_best_tiling(self, layer):
         result = _ToyDataflow().search(layer, capacity_words=10)

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.sweep import memory_sweep, words_to_mb
 from repro.core.layer import ConvLayer, kib_to_words
 from repro.core.lower_bound import practical_lower_bound
+from repro.dataflows.grid import numpy_available
 from repro.dataflows.ours import OptimalDataflow
 from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
 from repro.engine import (
@@ -14,9 +15,14 @@ from repro.engine import (
     dataflow_signature,
     get_default_engine,
     layer_signature,
+    resolve_backend,
     resolve_workers,
     set_default_engine,
     task_key,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="the vectorized backend requires numpy"
 )
 
 
@@ -80,15 +86,15 @@ class TestCacheAccounting:
     def test_batch_duplicates_count_as_hits(self, layer):
         engine = SearchEngine()
         ours = get_dataflow("Ours")
-        results = engine.search_many([(ours, layer, 8192)] * 4)
+        results = engine.search_tasks([(ours, layer, 8192)] * 4)
         assert engine.stats.misses == 1 and engine.stats.hits == 3
         assert all(result == results[0] for result in results)
 
     def test_lookups_invariant(self, small_layers):
         engine = SearchEngine()
         tasks = [(d, l, 16384) for d in ALL_DATAFLOWS[:3] for l in small_layers]
-        engine.search_many(tasks)
-        engine.search_many(tasks)
+        engine.search_tasks(tasks)
+        engine.search_tasks(tasks)
         assert engine.stats.lookups == 2 * len(tasks)
         assert engine.stats.misses == len(tasks)
 
@@ -159,8 +165,8 @@ class TestInfeasibility:
 class TestParallelParity:
     def test_parallel_matches_serial(self, small_layers):
         tasks = [(d, l, 16384) for d in ALL_DATAFLOWS for l in small_layers]
-        serial = SearchEngine(workers=1).search_many(tasks)
-        parallel = SearchEngine(workers=2).search_many(tasks)
+        serial = SearchEngine(workers=1).search_tasks(tasks)
+        parallel = SearchEngine(workers=2).search_tasks(tasks)
         assert serial == parallel
 
     def test_parallel_memory_sweep_identical(self, small_layers):
@@ -177,8 +183,8 @@ class TestParallelParity:
     def test_parallel_engine_still_caches(self, small_layers):
         engine = SearchEngine(workers=2)
         tasks = [(d, l, 16384) for d in ALL_DATAFLOWS[:2] for l in small_layers]
-        engine.search_many(tasks)
-        engine.search_many(tasks)
+        engine.search_tasks(tasks)
+        engine.search_tasks(tasks)
         assert engine.stats.misses == len(tasks)
         assert engine.stats.hits == len(tasks)
 
@@ -309,6 +315,166 @@ class TestPersistence:
         warm = SearchEngine(cache_path=path)
         assert warm.try_search(get_dataflow("WtR-B"), layer, 0) is None
         assert warm.stats.misses == 0
+
+
+class TestBackendResolution:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            SearchEngine(backend="fortran")
+
+    def test_auto_resolves_to_an_executable_backend(self):
+        assert resolve_backend("auto") in ("numpy", "python")
+        assert resolve_backend(None) == resolve_backend("auto")
+        assert SearchEngine().backend == resolve_backend("auto")
+
+    def test_python_backend_always_available(self):
+        assert SearchEngine(backend="python").backend == "python"
+
+    @requires_numpy
+    def test_numpy_backend_selected_when_available(self):
+        assert resolve_backend("auto") == "numpy"
+        assert SearchEngine(backend="numpy").backend == "numpy"
+
+    def test_repr_names_the_backend(self):
+        assert "backend=python" in repr(SearchEngine(backend="python"))
+
+
+class TestSearchManyCapacities:
+    """The multi-capacity search_many(layer, capacities, dataflow) API."""
+
+    CAPACITIES = [512, 4096, 16384, 0]
+
+    def test_matches_per_capacity_search(self, layer):
+        engine = SearchEngine(backend="python")
+        dataflow = get_dataflow("InR-A")
+        results = engine.search_many(layer, self.CAPACITIES, dataflow)
+        assert len(results) == len(self.CAPACITIES)
+        for capacity, result in zip(self.CAPACITIES, results):
+            assert result == engine.try_search(dataflow, layer, capacity)
+
+    @requires_numpy
+    def test_numpy_backend_matches_python_backend(self, layer):
+        for dataflow in ALL_DATAFLOWS:
+            vectorized = SearchEngine(backend="numpy").search_many(
+                layer, self.CAPACITIES, dataflow
+            )
+            scalar = SearchEngine(backend="python").search_many(
+                layer, self.CAPACITIES, dataflow
+            )
+            assert vectorized == scalar
+
+    def test_counts_one_lookup_per_capacity(self, layer):
+        engine = SearchEngine()
+        engine.search_many(layer, self.CAPACITIES, get_dataflow("Ours"))
+        assert engine.stats.lookups == len(self.CAPACITIES)
+        assert engine.stats.misses == len(self.CAPACITIES)
+        engine.search_many(layer, self.CAPACITIES, get_dataflow("Ours"))
+        assert engine.stats.hits == len(self.CAPACITIES)
+
+
+class TestGridEvaluationStats:
+    """grid_evaluations reports the vectorized work behind sweep paths."""
+
+    @requires_numpy
+    def test_search_many_costs_one_grid_evaluation(self, layer):
+        engine = SearchEngine(backend="numpy")
+        engine.search_many(layer, [512, 4096, 16384], get_dataflow("InR-A"))
+        assert engine.stats.grid_evaluations == 1
+        assert engine.stats.misses == 3
+        # Cached capacities trigger no further grid work.
+        engine.search_many(layer, [512, 4096, 16384], get_dataflow("InR-A"))
+        assert engine.stats.grid_evaluations == 1
+        assert engine.stats.hits == 3
+
+    @requires_numpy
+    def test_memory_sweep_costs_one_evaluation_per_pair(self, small_layers):
+        engine = SearchEngine(backend="numpy")
+        memory_sweep(capacities_kib=[4, 16, 32], layers=small_layers, engine=engine)
+        pairs = len(ALL_DATAFLOWS) * len(small_layers)
+        assert engine.stats.grid_evaluations == pairs
+        assert engine.stats.lookups == pairs * 3
+        # A second sweep is served entirely from the cache.
+        memory_sweep(capacities_kib=[4, 16, 32], layers=small_layers, engine=engine)
+        assert engine.stats.grid_evaluations == pairs
+        assert engine.stats.hits == pairs * 3
+
+    def test_python_backend_reports_zero_grid_evaluations(self, layer):
+        engine = SearchEngine(backend="python")
+        engine.search_many(layer, [512, 4096], get_dataflow("InR-A"))
+        assert engine.stats.grid_evaluations == 0
+        assert engine.stats.misses == 2
+
+    def test_stats_surface_grid_evaluations(self):
+        engine = SearchEngine()
+        assert "grid_evaluations" in engine.stats.as_dict()
+        assert "grid evaluations" in str(engine.stats)
+        engine.stats.grid_evaluations = 7
+        engine.stats.reset()
+        assert engine.stats.grid_evaluations == 0
+
+
+@requires_numpy
+class TestBackendCacheParity:
+    """Backends share cache entries: same keys, same SCHEMA_VERSION."""
+
+    CAPACITIES = [512, 4096, 16384]
+
+    def _tasks(self, layers):
+        return [
+            (dataflow, layer, capacity)
+            for dataflow in ALL_DATAFLOWS
+            for layer in layers
+            for capacity in self.CAPACITIES
+        ]
+
+    def test_scalar_populated_cache_serves_vectorized_engine(self, small_layers):
+        scalar = SearchEngine(backend="python")
+        expected = scalar.search_tasks(self._tasks(small_layers))
+
+        vectorized = SearchEngine(backend="numpy")
+        vectorized.cache = scalar.cache  # share the store, not a copy
+        results = vectorized.search_tasks(self._tasks(small_layers))
+        assert vectorized.stats.misses == 0
+        assert vectorized.stats.grid_evaluations == 0
+        assert results == expected
+
+    def test_vectorized_populated_cache_serves_scalar_engine(self, small_layers):
+        vectorized = SearchEngine(backend="numpy")
+        expected = vectorized.search_tasks(self._tasks(small_layers))
+
+        scalar = SearchEngine(backend="python")
+        scalar.cache = vectorized.cache
+        results = scalar.search_tasks(self._tasks(small_layers))
+        assert scalar.stats.misses == 0
+        assert results == expected
+
+    def test_cache_parity_across_pickle_round_trip(self, tmp_path, small_layers):
+        path = str(tmp_path / "cache.pkl")
+        scalar = SearchEngine(backend="python", cache_path=path)
+        expected = scalar.search_tasks(self._tasks(small_layers))
+        scalar.save()
+
+        vectorized = SearchEngine(backend="numpy", cache_path=path)
+        results = vectorized.search_tasks(self._tasks(small_layers))
+        assert vectorized.stats.misses == 0 and vectorized.stats.grid_evaluations == 0
+        assert results == expected
+
+        # And the reverse direction through a fresh file.
+        reverse_path = str(tmp_path / "reverse.pkl")
+        warm_vectorized = SearchEngine(backend="numpy", cache_path=reverse_path)
+        warm_vectorized.search_tasks(self._tasks(small_layers))
+        warm_vectorized.save()
+        warm_scalar = SearchEngine(backend="python", cache_path=reverse_path)
+        assert warm_scalar.search_tasks(self._tasks(small_layers)) == expected
+        assert warm_scalar.stats.misses == 0
+
+    def test_backends_produce_identical_cache_keys(self, layer):
+        scalar = SearchEngine(backend="python")
+        vectorized = SearchEngine(backend="numpy")
+        tasks = [(dataflow, layer, 8192) for dataflow in ALL_DATAFLOWS]
+        scalar.search_tasks(tasks)
+        vectorized.search_tasks(tasks)
+        assert set(scalar.cache._entries) == set(vectorized.cache._entries)
 
 
 class TestDefaultEngine:

@@ -87,6 +87,28 @@ class TestGoldenFiles:
         assert rows["Lower bound"]["dram_access_mb"] <= rows["Our dataflow"]["dram_access_mb"]
 
 
+class TestGoldensAcrossBackends:
+    """The pinned figures must not move under the vectorized backend.
+
+    The golden values were pinned by the scalar reference search; re-running
+    them through ``SearchEngine(backend="numpy")`` must reproduce every
+    number bit-for-bit (the differential suite proves per-search parity,
+    this proves it end-to-end on the real figures).  Without numpy the
+    module's default-engine tests above already cover the scalar fallback.
+    """
+
+    @pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+    def test_numpy_backend_reproduces_pinned_figures(self, workload):
+        pytest.importorskip("numpy")
+        expected = load_golden(GOLDENS_DIR, workload)
+        actual = compute_goldens(workload, engine=SearchEngine(backend="numpy"))
+        problems = diff_goldens(expected, actual)
+        assert not problems, (
+            f"{workload}: {len(problems)} pinned figures moved under the "
+            f"numpy backend (first: {problems[0]})"
+        )
+
+
 class TestGoldenTooling:
     def test_write_and_check_roundtrip(self, tmp_path):
         engine = SearchEngine()

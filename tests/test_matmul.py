@@ -1,7 +1,8 @@
 """Tests for repro.core.matmul."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.core.matmul import (
     CountingBlockedMatMul,

@@ -1,7 +1,8 @@
 """Tests for repro.core.mm_conversion."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.core.layer import ConvLayer
 from repro.core.mm_conversion import (

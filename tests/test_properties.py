@@ -1,10 +1,7 @@
 """Property-based tests (hypothesis) on the core invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
-
-from repro.arch.functional import FunctionalSimulator
 from repro.core.layer import ConvLayer
 from repro.core.lower_bound import (
     ideal_traffic,
@@ -159,7 +156,7 @@ class TestRandomNetworkSearchProperties:
         engine = SearchEngine()
         layers = random_network(seed, depth=4, max_channels=24, max_spatial=20)
         for capacity in self.CAPACITIES:
-            results = engine.search_many(
+            results = engine.search_tasks(
                 [(dataflow, layer, capacity) for layer in layers for dataflow in ALL_DATAFLOWS]
             )
             for index, layer in enumerate(layers):
@@ -189,8 +186,8 @@ class TestRandomNetworkSearchProperties:
             for dataflow in ALL_DATAFLOWS
             for capacity in self.CAPACITIES
         ]
-        serial = SearchEngine(workers=1).search_many(tasks)
-        parallel = SearchEngine(workers=2).search_many(tasks)
+        serial = SearchEngine(workers=1).search_tasks(tasks)
+        parallel = SearchEngine(workers=2).search_tasks(tasks)
         assert serial == parallel
 
     def test_bound_monotone_under_batch_growth(self):
@@ -208,6 +205,9 @@ class TestFunctionalSimulatorProperty:
     @given(conv_layers(max_spatial=10, max_channels=4, max_batch=2), tilings())
     @settings(max_examples=15, deadline=None)
     def test_functional_simulator_always_matches_reference(self, layer, tiling):
+        np = pytest.importorskip("numpy")
+        from repro.arch.functional import FunctionalSimulator
+
         rng = np.random.default_rng(0)
         inputs = rng.standard_normal(
             (layer.batch, layer.in_channels, layer.in_height, layer.in_width)

@@ -139,6 +139,36 @@ class TestCliEngineFlags:
         assert get_default_engine() is before
 
 
+class TestCliBackendFlag:
+    def test_parser_defaults_to_auto(self):
+        assert build_parser().parse_args(["fig13"]).backend == "auto"
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig13", "--backend", "fortran"])
+
+    def test_build_engine_resolves_backend(self):
+        args = build_parser().parse_args(["fig13", "--backend", "python"])
+        assert build_engine(args).backend == "python"
+        auto = build_parser().parse_args(["fig13"])
+        assert build_engine(auto).backend in ("numpy", "python")
+
+    def test_fig13_output_identical_across_backends(self, capsys):
+        assert main(["fig13", "--workload", "tiny", "--capacities", "16",
+                     "--backend", "python"]) == 0
+        scalar_out = capsys.readouterr().out
+        pytest.importorskip("numpy")
+        assert main(["fig13", "--workload", "tiny", "--capacities", "16",
+                     "--backend", "numpy"]) == 0
+        assert capsys.readouterr().out == scalar_out
+
+    def test_stats_mention_grid_evaluations(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["fig13", "--workload", "tiny", "--capacities", "16", "32",
+                     "--backend", "numpy", "--stats"]) == 0
+        assert "grid evaluations" in capsys.readouterr().err
+
+
 class TestCliWorkloadFlag:
     def test_workloads_subcommand_lists_registry(self, capsys):
         assert main(["workloads"]) == 0
