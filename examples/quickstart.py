@@ -50,6 +50,15 @@ def main() -> None:
     print(f"\nThe dataflow is within {100 * (traffic.total / bound - 1):.1f}% of the lower bound")
     print(f"and {naive / traffic.total:.0f}x below the reuse-free implementation.")
 
+    # Sanity gate for CI: the example must produce real, ordered numbers,
+    # not just avoid crashing -- the bound is positive, the chosen tiling
+    # respects it, and reuse beats the naive implementation.
+    if not (0 < bound <= traffic.total < naive):
+        raise SystemExit(
+            "quickstart sanity check failed: expected "
+            f"0 < bound ({bound}) <= chosen ({traffic.total}) < naive ({naive})"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -12,6 +12,7 @@ from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.energy.model import EnergyModel, efficiency_gap
 from repro.eyeriss.model import EYERISS_REPORTED_ON_CHIP_PJ_PER_MAC
+from repro.orchestration.experiments import Experiment, register_experiment
 from repro.workloads.registry import resolve_layers
 
 
@@ -56,3 +57,22 @@ def energy_report(layers: list = None, implementations: list = None) -> dict:
         for capacity, bound in sorted(bounds.items())
     ]
     return {"implementations": rows, "lower_bounds": bound_rows}
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _render_fig18(payload, params):
+    from repro.analysis.report import format_energy_report
+
+    return "Fig. 18: energy efficiency\n" + format_energy_report(payload)
+
+
+register_experiment(
+    Experiment(
+        name="fig18",
+        title="Fig. 18: energy efficiency",
+        build=lambda ctx: energy_report(layers=ctx.layers),
+        render=_render_fig18,
+    )
+)

@@ -14,6 +14,7 @@ from repro.core.layer import kib_to_words
 from repro.core.lower_bound import practical_lower_bound
 from repro.dataflows.registry import get_dataflow
 from repro.engine import get_default_engine
+from repro.orchestration.experiments import Experiment, register_experiment
 from repro.eyeriss.model import (
     EyerissModel,
     EYERISS_REPORTED_VGG16_DRAM_MB,
@@ -114,3 +115,41 @@ def _summary_row(words: float, macs: int) -> dict:
         "dram_access_mb": words_to_mb(words),
         "dram_access_per_mac": words / macs if macs else 0.0,
     }
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _render_fig15_table3(payload, params):
+    from repro.analysis.report import format_dict_rows
+
+    capacity_kib = params["capacity_kib"]
+    lines = [
+        f"Fig. 15: per-layer DRAM access (MB) at {capacity_kib} KB effective "
+        "on-chip memory",
+        format_dict_rows(payload["per_layer"]),
+        "",
+        "Table III: comparison with Eyeriss on DRAM access",
+    ]
+    for name, row in payload["summary"]["rows"].items():
+        lines.append(
+            f"  {name:>20}: {row['dram_access_mb']:.1f} MB, "
+            f"{row['dram_access_per_mac']:.4f} access/MAC"
+        )
+    return "\n".join(lines)
+
+
+register_experiment(
+    Experiment(
+        name="fig15_table3",
+        title="Fig. 15 / Table III: Eyeriss comparison",
+        build=lambda ctx: eyeriss_comparison(
+            layers=ctx.layers,
+            capacity_kib=ctx.params["capacity_kib"],
+            engine=ctx.engine,
+        ),
+        render=_render_fig15_table3,
+        uses_search=True,
+        default_params={"capacity_kib": EYERISS_EFFECTIVE_KIB},
+    )
+)

@@ -29,6 +29,7 @@ import os
 from repro.analysis.eyeriss_compare import eyeriss_comparison
 from repro.analysis.sweep import memory_sweep, per_layer_dram
 from repro.engine import get_default_engine
+from repro.orchestration.experiments import Experiment, register_experiment
 
 #: Workloads whose figures are pinned (the paper's three evaluation CNNs).
 GOLDEN_WORKLOADS = ("vgg16", "alexnet", "resnet18")
@@ -91,6 +92,16 @@ def _sanitize(value):
     if isinstance(value, (list, tuple)):
         return [_sanitize(item) for item in value]
     return value
+
+
+def sanitize_payload(value):
+    """Public alias of the NaN-to-null JSON sanitizer.
+
+    The run orchestrator applies the same normalisation to every unit
+    artifact it writes, so orchestrated artifacts and golden files stay
+    byte-compatible (and strict-JSON parseable) everywhere.
+    """
+    return _sanitize(value)
 
 
 def write_goldens(directory: str, workloads=None, engine=None) -> list:
@@ -179,3 +190,26 @@ def check_goldens(directory: str, workloads=None, engine=None) -> dict:
         actual = compute_goldens(workload, engine=engine)
         report[workload] = diff_goldens(expected, actual)
     return report
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _build_goldens(ctx):
+    return compute_goldens(ctx.workload, engine=ctx.engine)
+
+
+def _render_goldens(payload, params):
+    figures = ", ".join(sorted(key for key in payload if key != "workload"))
+    return f"Golden figures for {payload['workload']}: {figures}"
+
+
+register_experiment(
+    Experiment(
+        name="goldens",
+        title="Golden figures (fig13/fig14/table3)",
+        build=_build_goldens,
+        render=_render_goldens,
+        uses_search=True,
+    )
+)

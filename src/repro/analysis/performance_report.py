@@ -13,6 +13,7 @@ from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.arch.performance import performance_report, throughput_macs_per_second
 from repro.energy.model import EnergyModel
 from repro.eyeriss.model import EYERISS_REPORTED_VGG16_SECONDS_PER_IMAGE
+from repro.orchestration.experiments import Experiment, register_experiment
 from repro.workloads.registry import resolve_layers
 from repro.workloads.vgg import PAPER_BATCH_SIZE, is_vgg16_conv_workload
 
@@ -50,3 +51,22 @@ def performance_comparison(layers: list = None, implementations: list = None) ->
         if is_vgg:
             rows[-1]["speedup_over_eyeriss_reported"] = eyeriss_seconds / report.total_seconds
     return rows
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _render_fig19(payload, params):
+    from repro.analysis.report import format_dict_rows
+
+    return "Fig. 19: performance and power\n" + format_dict_rows(payload)
+
+
+register_experiment(
+    Experiment(
+        name="fig19",
+        title="Fig. 19: performance and power",
+        build=lambda ctx: performance_comparison(layers=ctx.layers),
+        render=_render_fig19,
+    )
+)

@@ -31,6 +31,23 @@ def format_table(headers: list, rows: list, float_format: str = "{:.3f}") -> str
     return "\n".join(lines)
 
 
+def format_markdown_table(headers: list, rows: list, float_format: str = "{:.3f}") -> str:
+    """Render a GitHub-flavoured markdown table (used by CI job summaries)."""
+
+    def cell(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(cell(header) for header in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
 def format_memory_sweep(sweep: dict) -> str:
     """Render the Fig. 13 sweep: one column per on-chip capacity."""
     capacities = sweep["capacities_kib"]

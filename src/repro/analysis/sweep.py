@@ -19,6 +19,7 @@ from repro.core.traffic import BYTES_PER_WORD
 from repro.dataflows.registry import ALL_DATAFLOWS, get_dataflow
 from repro.engine import get_default_engine
 from repro.eyeriss.model import EyerissModel
+from repro.orchestration.experiments import Experiment, register_experiment
 from repro.workloads.registry import resolve_layers
 
 MB = 1024.0 * 1024.0
@@ -259,3 +260,104 @@ def reg_per_layer(layers: list = None, implementations: list = None) -> list:
             row[f"{model.config.name}_gb"] = words_to_mb(result.reg_accesses) / 1024.0
         rows.append(row)
     return rows
+
+
+# ------------------------------------------------------- experiment registry
+
+
+#: Fig. 13 x-axis used by the CLI default and ``reproduce-all``.
+FIG13_DEFAULT_CAPACITIES_KIB = (16.0, 32.0, 64.0, 66.5, 128.0, 173.5, 256.0)
+
+#: Fig. 14 operating point (implementations 1-3 share 66.5 KB).
+FIG14_DEFAULT_CAPACITY_KIB = 66.5
+
+
+def _render_fig13(payload, params):
+    from repro.analysis.report import format_memory_sweep
+
+    return (
+        "Fig. 13: DRAM access volume (GB) vs effective on-chip memory\n"
+        + format_memory_sweep(payload)
+    )
+
+
+def _render_fig14(payload, params):
+    from repro.analysis.report import format_dict_rows
+
+    capacity_kib = params["capacity_kib"]
+    return (
+        f"Fig. 14: per-layer DRAM access volume (MB) at {capacity_kib} KB "
+        "on-chip memory\n" + format_dict_rows(payload)
+    )
+
+
+def _render_rows(title):
+    def render(payload, params):
+        from repro.analysis.report import format_dict_rows
+
+        return title + "\n" + format_dict_rows(payload)
+
+    return render
+
+
+def _render_table4(payload, params):
+    from repro.analysis.report import format_gbuf_dram_ratio
+
+    return (
+        "Table IV: GBuf vs DRAM access volume (implementation 1)\n"
+        + format_gbuf_dram_ratio(payload)
+    )
+
+
+register_experiment(
+    Experiment(
+        name="fig13",
+        title="Fig. 13: DRAM volume vs on-chip memory",
+        build=lambda ctx: memory_sweep(
+            capacities_kib=list(ctx.params["capacities_kib"]),
+            layers=ctx.layers,
+            engine=ctx.engine,
+        ),
+        render=_render_fig13,
+        uses_search=True,
+        default_params={"capacities_kib": list(FIG13_DEFAULT_CAPACITIES_KIB)},
+    )
+)
+register_experiment(
+    Experiment(
+        name="fig14",
+        title="Fig. 14: per-layer DRAM volume",
+        build=lambda ctx: per_layer_dram(
+            capacity_kib=ctx.params["capacity_kib"],
+            layers=ctx.layers,
+            engine=ctx.engine,
+        ),
+        render=_render_fig14,
+        uses_search=True,
+        default_params={"capacity_kib": FIG14_DEFAULT_CAPACITY_KIB},
+    )
+)
+register_experiment(
+    Experiment(
+        name="fig16",
+        title="Fig. 16: per-layer GBuf volume",
+        build=lambda ctx: gbuf_per_layer(layers=ctx.layers),
+        render=_render_rows("Fig. 16: per-layer GBuf access volume (MB)"),
+    )
+)
+register_experiment(
+    Experiment(
+        name="table4",
+        title="Table IV: GBuf vs DRAM ratios",
+        build=lambda ctx: gbuf_dram_ratio(layers=ctx.layers),
+        render=_render_table4,
+    )
+)
+register_experiment(
+    Experiment(
+        name="fig17",
+        title="Fig. 17: per-layer register volume",
+        build=lambda ctx: reg_per_layer(layers=ctx.layers),
+        render=_render_rows("Fig. 17: per-layer register access volume (GB)"),
+    )
+)

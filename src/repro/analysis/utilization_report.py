@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS
+from repro.orchestration.experiments import Experiment, register_experiment
 from repro.workloads.registry import resolve_layers
 
 
@@ -27,3 +28,22 @@ def utilization_report(layers: list = None, implementations: list = None) -> lis
             }
         )
     return rows
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _render_fig20(payload, params):
+    from repro.analysis.report import format_dict_rows
+
+    return "Fig. 20: memory and PE utilisation\n" + format_dict_rows(payload)
+
+
+register_experiment(
+    Experiment(
+        name="fig20",
+        title="Fig. 20: memory and PE utilisation",
+        build=lambda ctx: utilization_report(layers=ctx.layers),
+        render=_render_fig20,
+    )
+)

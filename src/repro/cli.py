@@ -20,6 +20,16 @@ memoization, and ``--cache-file`` persists results so later invocations
 start warm.  ``--workload NAME[:batch]`` runs any figure on any workload
 registered in :mod:`repro.workloads.registry` (default: the paper's VGG-16
 at batch 3).
+
+Full-paper reproductions are orchestrated by the ``run`` / ``resume`` /
+``merge`` / ``reproduce-all`` subcommands (sharded across machines,
+resumable after a kill, merged into one machine-readable artifact tree; see
+:mod:`repro.orchestration.cli`)::
+
+    repro-experiments reproduce-all --out-dir out/shard-1 --shard 1/4
+    repro-experiments resume --out-dir out/shard-1
+    repro-experiments merge out/shard-* --out-dir out/merged \\
+        --diff-goldens tests/goldens
 """
 
 from __future__ import annotations
@@ -27,109 +37,45 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.energy_report import energy_report
-from repro.analysis.eyeriss_compare import eyeriss_comparison
 from repro.analysis.goldens import (
     check_goldens,
     default_goldens_dir,
     write_goldens,
 )
-from repro.analysis.performance_report import performance_comparison
-from repro.analysis.report import (
-    format_dict_rows,
-    format_energy_report,
-    format_gbuf_dram_ratio,
-    format_memory_sweep,
-    format_table,
-)
+from repro.analysis.report import format_table
 from repro.analysis.sweep import (
-    gbuf_dram_ratio,
-    gbuf_per_layer,
-    memory_sweep,
-    per_layer_dram,
-    reg_per_layer,
+    FIG13_DEFAULT_CAPACITIES_KIB,
+    FIG14_DEFAULT_CAPACITY_KIB,
 )
-from repro.analysis.utilization_report import utilization_report
-from repro.arch.config import PAPER_IMPLEMENTATIONS
 from repro.core.layer import total_macs
-from repro.energy.model import OPERATION_ENERGY
 from repro.engine import SearchEngine, set_default_engine
+from repro.orchestration.experiments import (
+    EXPERIMENT_ALIASES,
+    PAPER_EXPERIMENTS,
+    ExperimentContext,
+    experiment_names,
+    get_experiment,
+    resolve_experiment_name,
+)
 from repro.workloads.registry import (
     UnknownWorkloadError,
     get_workload_spec,
     list_workloads,
 )
 
+#: Subcommands handled by the orchestration CLI (sharded runs, merge).
+ORCHESTRATION_COMMANDS = ("run", "resume", "merge", "reproduce-all")
 
-def _print_table1(layers, engine) -> None:
-    print("Table I: implementations of our architecture")
-    for config in PAPER_IMPLEMENTATIONS:
-        print("  " + config.describe())
+def _experiment_choices() -> list:
+    """Flat experiment choices, derived from the registry.
 
-
-def _print_table2(layers, engine) -> None:
-    print("Table II: energy consumption of operations (pJ)")
-    for name, value in OPERATION_ENERGY.items():
-        print(f"  {name:>14}: {value}")
-
-
-def _print_fig13(capacities, layers, engine) -> None:
-    sweep = memory_sweep(capacities_kib=capacities, layers=layers, engine=engine)
-    print("Fig. 13: DRAM access volume (GB) vs effective on-chip memory")
-    print(format_memory_sweep(sweep))
-
-
-def _print_fig14(capacity_kib, layers, engine) -> None:
-    rows = per_layer_dram(capacity_kib=capacity_kib, layers=layers, engine=engine)
-    print(f"Fig. 14: per-layer DRAM access volume (MB) at {capacity_kib} KB on-chip memory")
-    print(format_dict_rows(rows))
-
-
-def _print_fig15_table3(layers, engine) -> None:
-    comparison = eyeriss_comparison(layers=layers, engine=engine)
-    print("Fig. 15: per-layer DRAM access (MB) at 173.5 KB effective on-chip memory")
-    print(format_dict_rows(comparison["per_layer"]))
-    print()
-    print("Table III: comparison with Eyeriss on DRAM access")
-    for name, row in comparison["summary"]["rows"].items():
-        print(
-            f"  {name:>20}: {row['dram_access_mb']:.1f} MB, "
-            f"{row['dram_access_per_mac']:.4f} access/MAC"
-        )
-
-
-def _print_fig16(layers, engine) -> None:
-    rows = gbuf_per_layer(layers=layers)
-    print("Fig. 16: per-layer GBuf access volume (MB)")
-    print(format_dict_rows(rows))
-
-
-def _print_table4(layers, engine) -> None:
-    print("Table IV: GBuf vs DRAM access volume (implementation 1)")
-    print(format_gbuf_dram_ratio(gbuf_dram_ratio(layers=layers)))
-
-
-def _print_fig17(layers, engine) -> None:
-    rows = reg_per_layer(layers=layers)
-    print("Fig. 17: per-layer register access volume (GB)")
-    print(format_dict_rows(rows))
-
-
-def _print_fig18(layers, engine) -> None:
-    print("Fig. 18: energy efficiency")
-    print(format_energy_report(energy_report(layers=layers)))
-
-
-def _print_fig19(layers, engine) -> None:
-    rows = performance_comparison(layers=layers)
-    print("Fig. 19: performance and power")
-    print(format_dict_rows(rows))
-
-
-def _print_fig20(layers, engine) -> None:
-    rows = utilization_report(layers=layers)
-    print("Fig. 20: memory and PE utilisation")
-    print(format_dict_rows(rows))
+    Every registered experiment is reachable automatically; ``fig15`` and
+    ``table3`` stand in for the one ``fig15_table3`` entry (the aliased
+    name itself is hidden), ``goldens`` keeps its dedicated subcommand
+    handling, and ``workloads`` is the registry listing.
+    """
+    names = set(experiment_names()) - {"goldens"} - set(EXPERIMENT_ALIASES.values())
+    return sorted(names | set(EXPERIMENT_ALIASES) | {"workloads"})
 
 
 def _print_workloads(layers, engine) -> None:
@@ -150,31 +96,18 @@ def _print_workloads(layers, engine) -> None:
     print(format_table(["name", "layers", "batch", "GMACs", "tags", "description"], rows))
 
 
-_EXPERIMENTS = {
-    "table1": _print_table1,
-    "table2": _print_table2,
-    "fig13": None,  # handled specially (capacities argument)
-    "fig14": None,  # handled specially (capacity argument)
-    "fig15": _print_fig15_table3,
-    "table3": _print_fig15_table3,
-    "fig16": _print_fig16,
-    "table4": _print_table4,
-    "fig17": _print_fig17,
-    "fig18": _print_fig18,
-    "fig19": _print_fig19,
-    "fig20": _print_fig20,
-    "workloads": _print_workloads,
-}
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the HPCA'20 paper.",
+        epilog="Orchestrated full-paper reproductions: the 'run', 'resume', "
+        "'merge' and 'reproduce-all' subcommands shard the whole reproduction "
+        "across machines with resumable, machine-readable artifact trees "
+        "(see 'repro-experiments reproduce-all --help').",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["goldens", "all"],
+        choices=_experiment_choices() + ["goldens", "all"],
         help="which table/figure to regenerate ('workloads' lists the "
         "registry, 'goldens' checks or re-pins the regression numbers)",
     )
@@ -189,13 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacities",
         type=float,
         nargs="+",
-        default=[16, 32, 64, 66.5, 128, 173.5, 256],
+        default=list(FIG13_DEFAULT_CAPACITIES_KIB),
         help="effective on-chip memory sizes in KB for fig13",
     )
     parser.add_argument(
         "--capacity",
         type=float,
-        default=66.5,
+        default=FIG14_DEFAULT_CAPACITY_KIB,
         help="effective on-chip memory size in KB for fig14 (default 66.5)",
     )
     parser.add_argument(
@@ -275,6 +208,14 @@ def _run_goldens(args, engine) -> int:
 
 
 def main(argv: list = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ORCHESTRATION_COMMANDS:
+        # Orchestrated (sharded/resumable) reproductions have their own
+        # subcommand parser; everything else keeps the flat experiment form.
+        from repro.orchestration.cli import main as orchestration_main
+
+        return orchestration_main(argv)
     args = build_parser().parse_args(argv)
     try:
         engine = build_engine(args)
@@ -294,8 +235,11 @@ def main(argv: list = None) -> int:
         if args.experiment == "goldens":
             status = _run_goldens(args, engine)
         elif args.experiment == "all":
-            for name in ("table1", "table2", "fig13", "fig14", "fig15", "fig16",
-                         "table4", "fig17", "fig18", "fig19", "fig20"):
+            # The canonical paper order from the registry; 'goldens' keeps
+            # its dedicated subcommand instead of riding along here.
+            for name in PAPER_EXPERIMENTS:
+                if name == "goldens":
+                    continue
                 _dispatch(name, args, layers, engine)
                 print()
         else:
@@ -317,12 +261,25 @@ def main(argv: list = None) -> int:
 
 
 def _dispatch(name: str, args, layers, engine) -> None:
+    """Compute and print one experiment through the shared registry.
+
+    The same :class:`~repro.orchestration.experiments.Experiment` entries
+    drive the orchestrated runs, so the printed figures and the archived
+    JSON artifacts can never diverge.
+    """
+    if name == "workloads":
+        _print_workloads(layers, engine)
+        return
+    experiment = get_experiment(resolve_experiment_name(name))
+    params = dict(experiment.default_params)
     if name == "fig13":
-        _print_fig13(args.capacities, layers, engine)
+        params["capacities_kib"] = list(args.capacities)
     elif name == "fig14":
-        _print_fig14(args.capacity, layers, engine)
-    else:
-        _EXPERIMENTS[name](layers, engine)
+        params["capacity_kib"] = args.capacity
+    context = ExperimentContext(
+        workload=args.workload, layers=layers, engine=engine, params=params
+    )
+    print(experiment.render(experiment.build(context), params))
 
 
 if __name__ == "__main__":

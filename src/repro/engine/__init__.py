@@ -16,7 +16,9 @@ from repro.engine.cache import (
     SearchCache,
     dataflow_signature,
     layer_signature,
+    shard_cache_filename,
     task_key,
+    validate_shard,
 )
 from repro.engine.engine import BACKENDS, SearchEngine, resolve_backend, resolve_workers
 
@@ -51,5 +53,7 @@ __all__ = [
     "resolve_backend",
     "resolve_workers",
     "set_default_engine",
+    "shard_cache_filename",
     "task_key",
+    "validate_shard",
 ]

@@ -48,6 +48,27 @@ CACHE_FORMAT = "repro-search-cache-v1"
 SCHEMA_VERSION = 1
 
 
+def validate_shard(shard_index: int, shard_count: int) -> tuple:
+    """Check ``1 <= K <= N`` once for every shard-taking API; returns (K, N)."""
+    if shard_count < 1 or not 1 <= shard_index <= shard_count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= K <= N, got {shard_index}/{shard_count}"
+        )
+    return shard_index, shard_count
+
+
+def shard_cache_filename(backend: str, shard_index: int, shard_count: int) -> str:
+    """Cache file name for one shard of an orchestrated run.
+
+    Shards of the same run must never share a cache file (they may execute
+    on different machines and upload their trees independently), so the
+    shard coordinates and the backend are baked into the name; a resumed
+    shard finds exactly the entries its own earlier attempt persisted.
+    """
+    validate_shard(shard_index, shard_count)
+    return f"search-{backend}-shard{shard_index}of{shard_count}.pkl"
+
+
 def _code_version() -> str:
     # Imported lazily: repro/__init__ imports repro.engine, so a top-level
     # import here would be circular.
@@ -159,6 +180,22 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "grid_evaluations": self.grid_evaluations,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        """Rebuild stats from :meth:`as_dict` output (``hit_rate`` is derived)."""
+        return cls(
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            grid_evaluations=int(data.get("grid_evaluations", 0)),
+        )
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another engine's counters (cross-shard aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.grid_evaluations += other.grid_evaluations
+        return self
 
     def reset(self) -> None:
         self.hits = 0

@@ -1,0 +1,77 @@
+"""Manifest-driven run orchestration: sharded, resumable reproductions.
+
+The subsystem turns the entire paper reproduction into an enumerable unit
+graph (:mod:`~repro.orchestration.manifest`), executes shards of it with
+per-unit JSON artifacts and checkpointed resume
+(:mod:`~repro.orchestration.runner`), and merges shard trees back into one
+verified, bit-identical result set (:mod:`~repro.orchestration.merge`).
+Figure/table drivers participate through the experiment registry
+(:mod:`~repro.orchestration.experiments`).
+
+Only the registry and the manifest are imported eagerly: the analysis
+drivers import :mod:`~repro.orchestration.experiments` at *their* import
+time to register themselves, so the runner/merge layers (which import the
+drivers back) are exposed lazily to keep the package import acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.orchestration.experiments import (
+    PAPER_EXPERIMENTS,
+    Experiment,
+    ExperimentContext,
+    experiment_names,
+    get_experiment,
+    load_experiments,
+    register_experiment,
+)
+from repro.orchestration.manifest import (
+    DEFAULT_WORKLOADS,
+    NO_BACKEND,
+    ManifestSpec,
+    RunManifest,
+    RunUnit,
+    parse_shard,
+)
+
+_LAZY = {
+    "Runner": "repro.orchestration.runner",
+    "RunReport": "repro.orchestration.runner",
+    "load_run_metadata": "repro.orchestration.runner",
+    "MergeReport": "repro.orchestration.merge",
+    "diff_merged_goldens": "repro.orchestration.merge",
+    "merge_runs": "repro.orchestration.merge",
+    "summary_markdown": "repro.orchestration.merge",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "Experiment",
+    "ExperimentContext",
+    "ManifestSpec",
+    "MergeReport",
+    "NO_BACKEND",
+    "PAPER_EXPERIMENTS",
+    "RunManifest",
+    "RunReport",
+    "RunUnit",
+    "Runner",
+    "diff_merged_goldens",
+    "experiment_names",
+    "get_experiment",
+    "load_experiments",
+    "load_run_metadata",
+    "merge_runs",
+    "parse_shard",
+    "register_experiment",
+    "summary_markdown",
+]

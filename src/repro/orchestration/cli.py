@@ -1,0 +1,307 @@
+"""CLI for orchestrated reproductions: run / resume / merge / reproduce-all.
+
+These subcommands are dispatched from the main ``repro-experiments`` entry
+point (:mod:`repro.cli`)::
+
+    repro-experiments reproduce-all --out-dir out/full --shard 1/4
+    repro-experiments run --out-dir out/tiny --workloads tiny \\
+        --experiments fig13 fig16 --capacities 16 66.5
+    repro-experiments resume --out-dir out/full          # zero recomputation
+    repro-experiments merge out/shard-* --out-dir out/merged \\
+        --diff-goldens tests/goldens --summary-file "$GITHUB_STEP_SUMMARY"
+
+``run``/``reproduce-all`` execute one shard of the manifest expanded from
+the given spec; ``resume`` re-executes the shard recorded in the out-dir's
+``run.json``, skipping every completed unit; ``merge`` unions shard trees,
+verifies bit-identity and completeness, optionally diffs the golden units
+against the pinned regression files, and can append a markdown summary for
+CI job pages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.orchestration.experiments import (
+    PAPER_EXPERIMENTS,
+    experiment_names,
+    resolve_experiment_name,
+)
+from repro.orchestration.manifest import (
+    DEFAULT_WORKLOADS,
+    ManifestSpec,
+    RunManifest,
+    parse_shard,
+)
+from repro.orchestration.merge import (
+    diff_merged_goldens,
+    merge_runs,
+    summary_markdown,
+)
+from repro.orchestration.runner import Runner, load_run_metadata
+from repro.workloads.registry import UnknownWorkloadError
+
+
+def build_orchestration_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Sharded, resumable full-paper reproductions.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    spec_parent = argparse.ArgumentParser(add_help=False)
+    spec_parent.add_argument(
+        "--out-dir",
+        default=None,
+        help="artifact tree for this shard (manifest.json, units/, status/, "
+        "cache/); required unless --list-experiments",
+    )
+    spec_parent.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_WORKLOADS),
+        metavar="NAME[:batch]",
+        help=f"workload specs to reproduce (default: {' '.join(DEFAULT_WORKLOADS)})",
+    )
+    spec_parent.add_argument(
+        "--experiments",
+        nargs="+",
+        default=list(PAPER_EXPERIMENTS),
+        metavar="NAME",
+        help="experiments to include (default: the whole paper; see "
+        "'repro-experiments run --list-experiments')",
+    )
+    spec_parent.add_argument(
+        "--backends",
+        nargs="+",
+        choices=["auto", "numpy", "python"],
+        default=["auto"],
+        help="search backends to cross search-based experiments over "
+        "(default: auto; pass 'numpy python' to archive both, bit-identical)",
+    )
+    spec_parent.add_argument(
+        "--capacities",
+        type=float,
+        nargs="+",
+        default=None,
+        help="fig13 capacity grid override (KB)",
+    )
+    spec_parent.add_argument(
+        "--capacity",
+        type=float,
+        default=None,
+        help="fig14 on-chip capacity override (KB)",
+    )
+    spec_parent.add_argument(
+        "--shard",
+        default="1/1",
+        metavar="K/N",
+        help="execute the K-th of N contiguous-hash shards (default 1/1)",
+    )
+    spec_parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the tiling searches (0 = all cores)",
+    )
+    spec_parent.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="stop after computing this many fresh units (timeboxing; "
+        "'resume' continues from there)",
+    )
+    spec_parent.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute units even when a completed artifact already exists",
+    )
+    spec_parent.add_argument(
+        "--list-experiments",
+        action="store_true",
+        help="list registered experiment names and exit",
+    )
+    spec_parent.add_argument(
+        "--json",
+        action="store_true",
+        help="print the run report as JSON on stdout",
+    )
+
+    commands.add_parser(
+        "run",
+        parents=[spec_parent],
+        help="execute one shard of the manifest expanded from the spec flags",
+    )
+    commands.add_parser(
+        "reproduce-all",
+        parents=[spec_parent],
+        help="run with the full-paper defaults (all figures/tables x the "
+        "golden workloads)",
+    )
+
+    resume = commands.add_parser(
+        "resume",
+        help="re-execute the shard recorded in --out-dir, skipping every "
+        "completed unit (zero recomputation)",
+    )
+    resume.add_argument("--out-dir", required=True)
+    resume.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="override the recorded shard (default: the one in run.json)",
+    )
+    resume.add_argument("--workers", type=int, default=None)
+    resume.add_argument("--max-units", type=int, default=None)
+    resume.add_argument("--json", action="store_true")
+
+    merge = commands.add_parser(
+        "merge",
+        help="union shard artifact trees, verify bit-identity and "
+        "completeness, optionally diff the golden units",
+    )
+    merge.add_argument("shard_dirs", nargs="+", help="shard out-dirs to merge")
+    merge.add_argument("--out-dir", required=True, help="merged artifact tree")
+    merge.add_argument(
+        "--diff-goldens",
+        default=None,
+        metavar="DIR",
+        help="diff merged 'goldens' units against the pinned files in DIR",
+    )
+    merge.add_argument(
+        "--summary-file",
+        default=None,
+        help="append a markdown summary (e.g. \"$GITHUB_STEP_SUMMARY\")",
+    )
+    merge.add_argument("--json", action="store_true")
+    return parser
+
+
+def _build_spec(args) -> ManifestSpec:
+    # Resolve every workload spec, the worker count and each backend up
+    # front so a typo fails fast with one clear exit-2 message instead of
+    # surfacing as N per-unit failures mid-run (the engine re-validates at
+    # construction, but by then every unit would record the same error).
+    from repro.engine import resolve_backend, resolve_workers
+    from repro.workloads.registry import get_workload_spec
+
+    for workload in args.workloads:
+        get_workload_spec(workload)
+    resolve_workers(args.workers)
+    for backend in args.backends:
+        resolve_backend(backend)
+    params = {}
+    if args.capacities is not None:
+        params["fig13"] = {"capacities_kib": list(args.capacities)}
+    if args.capacity is not None:
+        params["fig14"] = {"capacity_kib": args.capacity}
+    # Accept the flat CLI's fig15/table3 aliases here too (dedup keeps the
+    # pair a single unit when both are named).
+    experiments = []
+    for name in args.experiments:
+        resolved = resolve_experiment_name(name)
+        if resolved not in experiments:
+            experiments.append(resolved)
+    return ManifestSpec(
+        workloads=tuple(args.workloads),
+        experiments=tuple(experiments),
+        backends=tuple(args.backends),
+        params=params,
+    )
+
+
+def _emit_report(report, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.describe())
+
+
+def _cmd_run(args) -> int:
+    if args.list_experiments:
+        for name in experiment_names():
+            print(name)
+        return 0
+    if not args.out_dir:
+        raise ValueError("--out-dir is required (or pass --list-experiments)")
+    manifest = RunManifest.from_spec(_build_spec(args))
+    runner = Runner(manifest, args.out_dir, workers=args.workers)
+    report = runner.run(
+        shard=parse_shard(args.shard),
+        resume=not args.force,
+        max_units=args.max_units,
+    )
+    _emit_report(report, args.json)
+    return 0 if report.ok else 1
+
+
+def _cmd_resume(args) -> int:
+    metadata = load_run_metadata(args.out_dir)
+    manifest = RunManifest.from_spec(ManifestSpec.from_dict(metadata["spec"]))
+    shard = parse_shard(args.shard) if args.shard else tuple(metadata["shard"])
+    workers = args.workers if args.workers is not None else metadata.get("workers", 1)
+    from repro.engine import resolve_workers
+
+    resolve_workers(workers)
+    runner = Runner(manifest, args.out_dir, workers=workers)
+    report = runner.run(shard=shard, resume=True, max_units=args.max_units)
+    _emit_report(report, args.json)
+    return 0 if report.ok else 1
+
+
+def _cmd_merge(args) -> int:
+    report = merge_runs(args.shard_dirs, args.out_dir)
+    goldens_report = None
+    failures = 0 if report.ok else 1
+    if args.diff_goldens:
+        goldens_report = diff_merged_goldens(args.out_dir, args.diff_goldens)
+        mismatches = sum(len(problems) for problems in goldens_report.values())
+        failures += mismatches
+        if not args.json:
+            # With --json stdout must stay one parseable document; the
+            # per-workload diff is embedded there instead.
+            for workload, problems in sorted(goldens_report.items()):
+                status = "ok" if not problems else f"{len(problems)} mismatches"
+                print(f"goldens[{workload}]: {status}")
+                for problem in problems[:10]:
+                    print(f"  {problem}")
+    if args.summary_file:
+        # Explicit UTF-8: the summary embeds pass/fail glyphs and must not
+        # depend on the locale encoding.
+        with open(args.summary_file, "a", encoding="utf-8") as handle:
+            handle.write(summary_markdown(report, goldens_report))
+    if args.json:
+        document = report.as_dict()
+        if goldens_report is not None:
+            document["goldens"] = goldens_report
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        print(report.describe())
+    return 0 if failures == 0 else 1
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "reproduce-all": _cmd_run,
+    "resume": _cmd_resume,
+    "merge": _cmd_merge,
+}
+
+
+def main(argv: list = None) -> int:
+    args = build_orchestration_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    # Same convention as the flat CLI: operator mistakes (bad spec, bad
+    # shard, unmergeable trees) exit 2 with one message, no traceback;
+    # genuine internal bugs surface as other exception types and keep
+    # their tracebacks.
+    except (UnknownWorkloadError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Experiment registry: every figure/table as a named, artifact-emitting unit.
+
+This is the common API between the flat CLI (``repro-experiments fig13``),
+the run orchestrator (:mod:`repro.orchestration.runner`) and the analysis
+drivers: each driver registers an :class:`Experiment` whose ``build``
+callable returns the plain JSON-serializable payload the driver already
+produces, and whose ``render`` callable turns that payload back into the
+text the CLI prints.  Orchestrated runs persist ``build`` output as JSON
+artifacts; the CLI prints ``render(build(...))`` -- both paths share one
+computation per experiment, so a figure can never diverge between its
+printed and its archived form.
+
+The registry is populated by the analysis modules themselves (each
+registers its own figures at import time); :func:`load_experiments` imports
+them all, so orchestration code can enumerate the full experiment set
+without hard-coding driver names here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a driver needs to compute one experiment payload.
+
+    ``workload`` is the registry spec string (``"vgg16"``, ``"tiny:2"``) and
+    ``layers`` its materialised layer list; ``engine`` is ``None`` for
+    experiments that never run tiling searches (``uses_search=False``).
+    """
+
+    workload: str
+    layers: list
+    engine: object
+    params: dict
+
+
+@dataclass
+class Experiment:
+    """One registered figure/table driver.
+
+    ``build(ctx)`` returns a JSON-serializable payload (NaN allowed; the
+    runner sanitizes it), ``render(payload, params)`` the printable text.
+    ``uses_search`` marks experiments whose payload depends on the tiling
+    search engine -- only those are expanded across backends by the run
+    manifest, because backend choice cannot change any other payload.
+    """
+
+    name: str
+    title: str
+    build: object = field(repr=False)
+    render: object = field(repr=False)
+    uses_search: bool = False
+    default_params: dict = field(default_factory=dict)
+
+
+_REGISTRY = {}
+_LOADED = False
+
+
+def register_experiment(experiment: Experiment, replace: bool = False) -> Experiment:
+    """Add an experiment to the registry (drivers call this at import time)."""
+    if experiment.name in _REGISTRY and not replace:
+        raise ValueError(f"experiment {experiment.name!r} is already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def load_experiments() -> None:
+    """Import every driver module so the registry is fully populated."""
+    global _LOADED
+    if _LOADED:
+        return
+    if "table1" not in _REGISTRY:
+        _register_static_tables()
+    # Each import registers that module's experiments as a side effect; the
+    # modules import *this* module for register_experiment, which is safe
+    # because nothing here imports repro.analysis at module level.  A failed
+    # import leaves _LOADED unset so the next call retries instead of
+    # silently serving a partial registry (modules that did import stay in
+    # sys.modules and are simply not re-imported).
+    import repro.analysis.energy_report  # noqa: F401
+    import repro.analysis.eyeriss_compare  # noqa: F401
+    import repro.analysis.goldens  # noqa: F401
+    import repro.analysis.performance_report  # noqa: F401
+    import repro.analysis.sweep  # noqa: F401
+    import repro.analysis.utilization_report  # noqa: F401
+
+    _LOADED = True
+
+
+#: Flat-CLI names accepted for registered experiments (the paper prints
+#: Fig. 15 and Table III from the one ``fig15_table3`` computation).
+EXPERIMENT_ALIASES = {"fig15": "fig15_table3", "table3": "fig15_table3"}
+
+
+def resolve_experiment_name(name: str) -> str:
+    """Map CLI aliases (``fig15``, ``table3``) to the registered name."""
+    return EXPERIMENT_ALIASES.get(name, name)
+
+
+def get_experiment(name: str) -> Experiment:
+    load_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        # ValueError, not KeyError: an unknown name is an operator mistake
+        # and the CLIs map ValueError to a clean exit-2 message.
+        raise ValueError(f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def experiment_names() -> list:
+    """Sorted names of every registered experiment."""
+    load_experiments()
+    return sorted(_REGISTRY)
+
+
+#: Canonical full-paper order used by ``reproduce-all`` (and ``repro all``).
+PAPER_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "fig13",
+    "fig14",
+    "fig15_table3",
+    "fig16",
+    "table4",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "goldens",
+)
+
+
+def _register_static_tables() -> None:
+    """Tables I and II: static configuration payloads, registered here."""
+
+    def build_table1(ctx):
+        from repro.arch.config import PAPER_IMPLEMENTATIONS
+
+        return {
+            "implementations": [
+                {
+                    "name": config.name,
+                    "pe_rows": config.pe_rows,
+                    "pe_cols": config.pe_cols,
+                    "lreg_words_per_pe": config.lreg_words_per_pe,
+                    "gbuf_kib": config.gbuf_kib,
+                    "greg_kib": config.greg_kib,
+                    "effective_on_chip_kib": config.effective_on_chip_kib,
+                    "described": config.describe(),
+                }
+                for config in PAPER_IMPLEMENTATIONS
+            ]
+        }
+
+    def render_table1(payload, params):
+        lines = ["Table I: implementations of our architecture"]
+        for row in payload["implementations"]:
+            lines.append("  " + row["described"])
+        return "\n".join(lines)
+
+    def build_table2(ctx):
+        from repro.energy.model import OPERATION_ENERGY
+
+        return {"operations_pj": dict(OPERATION_ENERGY)}
+
+    def render_table2(payload, params):
+        lines = ["Table II: energy consumption of operations (pJ)"]
+        for name, value in payload["operations_pj"].items():
+            lines.append(f"  {name:>14}: {value}")
+        return "\n".join(lines)
+
+    register_experiment(
+        Experiment(
+            name="table1",
+            title="Table I: accelerator implementations",
+            build=build_table1,
+            render=render_table1,
+        )
+    )
+    register_experiment(
+        Experiment(
+            name="table2",
+            title="Table II: operation energy model",
+            build=build_table2,
+            render=render_table2,
+        )
+    )

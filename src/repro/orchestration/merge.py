@@ -1,0 +1,273 @@
+"""Merge shard artifact trees into one result set and verify it.
+
+``merge_runs`` unions the ``units/`` trees of any number of shard
+directories into a merged tree that is **bit-identical** to what a single
+unsharded run would have produced: all shards must carry byte-identical
+``manifest.json`` files (same spec, same expansion), duplicate unit
+artifacts must agree byte-for-byte, and completeness is checked against the
+manifest's unit list.  Engine statistics from every shard report are
+aggregated with :meth:`repro.engine.CacheStats.merge` so the merged report
+shows the whole run's hit/miss/grid accounting.
+
+``diff_merged_goldens`` replays the merged ``goldens`` units against the
+pinned ``tests/goldens`` files -- the CI merge job's pass/fail signal.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.goldens import diff_goldens, golden_path
+from repro.analysis.report import format_markdown_table
+from repro.engine import CacheStats
+from repro.orchestration.runner import (
+    MANIFEST_FILENAME,
+    SHARDS_DIRNAME,
+    UNITS_DIRNAME,
+    dump_document,
+    write_text_atomic,
+)
+
+
+@dataclass
+class MergeReport:
+    """Outcome of one merge: unit accounting plus aggregated engine stats."""
+
+    shard_dirs: list = field(default_factory=list)
+    units_merged: int = 0
+    units_duplicate: int = 0
+    missing: list = field(default_factory=list)
+    conflicts: list = field(default_factory=list)
+    unexpected: list = field(default_factory=list)
+    shard_reports: list = field(default_factory=list)
+    engine_stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing or self.conflicts or self.unexpected)
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_dirs": list(self.shard_dirs),
+            "units_merged": self.units_merged,
+            "units_duplicate": self.units_duplicate,
+            "missing": sorted(self.missing),
+            "conflicts": sorted(self.conflicts),
+            "unexpected": sorted(self.unexpected),
+            "shard_reports": list(self.shard_reports),
+            "engine_stats": dict(self.engine_stats),
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        state = "ok" if self.ok else "FAILED"
+        return (
+            f"merge: {state} -- {self.units_merged} units from "
+            f"{len(self.shard_dirs)} shard trees ({self.units_duplicate} "
+            f"duplicates verified, {len(self.missing)} missing, "
+            f"{len(self.conflicts)} conflicts, {len(self.unexpected)} unexpected)"
+        )
+
+
+def _read_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def merge_runs(shard_dirs: list, out_dir: str) -> MergeReport:
+    """Union shard trees into ``out_dir``; verify identity and completeness."""
+    shard_dirs = list(shard_dirs)
+    if not shard_dirs:
+        raise ValueError("merge needs at least one shard directory")
+    report = MergeReport(shard_dirs=shard_dirs)
+
+    manifest_bytes = None
+    for shard_dir in shard_dirs:
+        path = os.path.join(shard_dir, MANIFEST_FILENAME)
+        if not os.path.exists(path):
+            raise ValueError(f"{path} is missing; {shard_dir!r} is not a run tree")
+        data = _read_bytes(path)
+        if manifest_bytes is None:
+            manifest_bytes = data
+        elif data != manifest_bytes:
+            raise ValueError(
+                f"{path} differs from the first shard's manifest; the shards "
+                "were produced from different specs and cannot be merged"
+            )
+    manifest_document = json.loads(manifest_bytes.decode())
+    if not isinstance(manifest_document.get("units"), list):
+        raise ValueError("the shard manifests hold no unit list; corrupt run trees")
+    expected_ids = {unit["unit_id"] for unit in manifest_document["units"]}
+
+    # A merged tree must be exactly the union of *these* shards: refuse an
+    # out-dir that already holds a merge of a different spec, and clear any
+    # stale unit files so a re-merge can never leave leftovers behind.
+    merged_manifest_path = os.path.join(out_dir, MANIFEST_FILENAME)
+    if os.path.exists(merged_manifest_path):
+        if _read_bytes(merged_manifest_path) != manifest_bytes:
+            raise ValueError(
+                f"{merged_manifest_path} holds a merge of a different spec; "
+                "use a fresh --out-dir (or delete the old one)"
+            )
+
+    merged_units_dir = os.path.join(out_dir, UNITS_DIRNAME)
+    os.makedirs(merged_units_dir, exist_ok=True)
+    merged = {}
+    for shard_dir in shard_dirs:
+        for path in sorted(glob.glob(os.path.join(shard_dir, UNITS_DIRNAME, "*.json"))):
+            unit_id = os.path.splitext(os.path.basename(path))[0]
+            data = _read_bytes(path)
+            if unit_id in merged:
+                report.units_duplicate += 1
+                if merged[unit_id] != data:
+                    report.conflicts.append(unit_id)
+                continue
+            merged[unit_id] = data
+            if unit_id not in expected_ids:
+                report.unexpected.append(unit_id)
+
+    for name in os.listdir(merged_units_dir):
+        unit_id = os.path.splitext(name)[0]
+        if unit_id not in merged:
+            os.unlink(os.path.join(merged_units_dir, name))
+    for unit_id, data in sorted(merged.items()):
+        write_text_atomic(
+            os.path.join(merged_units_dir, f"{unit_id}.json"), data.decode("utf-8")
+        )
+    report.units_merged = len(merged)
+    report.missing = sorted(expected_ids - set(merged))
+
+    write_text_atomic(
+        os.path.join(out_dir, MANIFEST_FILENAME), manifest_bytes.decode()
+    )
+    report.shard_reports, report.engine_stats = _aggregate_shard_reports(shard_dirs)
+    write_text_atomic(
+        os.path.join(out_dir, "merge.json"), dump_document(report.as_dict())
+    )
+    return report
+
+
+def _aggregate_shard_reports(shard_dirs: list) -> tuple:
+    """Collect every shard report and sum the per-backend engine stats."""
+    shard_reports = []
+    totals = {}
+    for shard_dir in shard_dirs:
+        for path in sorted(glob.glob(os.path.join(shard_dir, SHARDS_DIRNAME, "*.json"))):
+            with open(path) as handle:
+                document = json.load(handle)
+            shard_reports.append(
+                {"path": path, "shard": document.get("shard"), "report": document}
+            )
+            for backend, stats in document.get("engine_stats", {}).items():
+                totals.setdefault(backend, CacheStats()).merge(
+                    CacheStats.from_dict(stats)
+                )
+    return shard_reports, {backend: stats.as_dict() for backend, stats in totals.items()}
+
+
+# ---------------------------------------------------------------- goldens diff
+
+
+def diff_merged_goldens(merged_dir: str, goldens_dir: str) -> dict:
+    """Diff every merged ``goldens`` unit against its pinned JSON file.
+
+    Returns ``{workload: [problems]}`` (empty list means the workload
+    matches); a manifest ``goldens`` unit with no artifact or no pinned file
+    is itself a problem.
+    """
+    manifest_path = os.path.join(merged_dir, MANIFEST_FILENAME)
+    with open(manifest_path) as handle:
+        manifest_document = json.load(handle)
+    golden_units = [
+        unit for unit in manifest_document["units"] if unit["experiment"] == "goldens"
+    ]
+    if not golden_units:
+        # A vacuous pass would read as "goldens verified" when nothing was
+        # checked -- a trimmed --experiments list must not silently disable
+        # the nightly pass/fail signal.
+        raise ValueError(
+            "the merged manifest contains no 'goldens' units to diff; "
+            "include the 'goldens' experiment in the run spec"
+        )
+    # A workload can carry several goldens units (one per backend): every
+    # unit is diffed and the problem lists *accumulate*, so one matching
+    # backend can never mask a mismatch in another.
+    unit_count = {}
+    for unit in golden_units:
+        unit_count[unit["workload"]] = unit_count.get(unit["workload"], 0) + 1
+    report = {}
+    for unit in golden_units:
+        workload = unit["workload"]
+        prefix = f"[{unit['backend']}] " if unit_count[workload] > 1 else ""
+        problems = report.setdefault(workload, [])
+        artifact_path = os.path.join(merged_dir, UNITS_DIRNAME, unit["unit_id"] + ".json")
+        if not os.path.exists(artifact_path):
+            problems.append(f"{prefix}goldens unit {unit['unit_id']} was never computed")
+            continue
+        pinned_path = golden_path(goldens_dir, workload)
+        if not os.path.exists(pinned_path):
+            problems.append(f"{prefix}no pinned golden file at {pinned_path}")
+            continue
+        with open(artifact_path) as handle:
+            actual = json.load(handle)["payload"]
+        with open(pinned_path) as handle:
+            expected = json.load(handle)
+        problems.extend(prefix + problem for problem in diff_goldens(expected, actual))
+    return report
+
+
+# ------------------------------------------------------------------- summary
+
+
+def summary_markdown(report: MergeReport, goldens_report: dict = None) -> str:
+    """GitHub-flavoured markdown summary for the Actions job summary page."""
+    lines = ["## Full-paper reproduction merge", ""]
+    lines.append(
+        format_markdown_table(
+            ["metric", "value"],
+            [
+                ["shard trees", len(report.shard_dirs)],
+                ["units merged", report.units_merged],
+                ["duplicates verified identical", report.units_duplicate],
+                ["missing units", len(report.missing)],
+                ["conflicting units", len(report.conflicts)],
+                ["unexpected units", len(report.unexpected)],
+                ["merge status", "✅ pass" if report.ok else "❌ fail"],
+            ],
+        )
+    )
+    if report.engine_stats:
+        lines += ["", "### Engine statistics (all shards)", ""]
+        lines.append(
+            format_markdown_table(
+                ["backend", "hits", "misses", "hit rate", "grid evaluations"],
+                [
+                    [
+                        backend,
+                        stats["hits"],
+                        stats["misses"],
+                        f"{stats['hit_rate']:.1%}",
+                        stats["grid_evaluations"],
+                    ]
+                    for backend, stats in sorted(report.engine_stats.items())
+                ],
+            )
+        )
+    if goldens_report is not None:
+        lines += ["", "### Golden figures vs `tests/goldens/`", ""]
+        rows = []
+        for workload, problems in sorted(goldens_report.items()):
+            status = "✅ pass" if not problems else "❌ fail"
+            detail = "" if not problems else "; ".join(problems[:3])
+            rows.append([workload, status, len(problems), detail])
+        lines.append(
+            format_markdown_table(["workload", "status", "mismatches", "detail"], rows)
+        )
+    if report.missing:
+        lines += ["", "Missing units: " + ", ".join(f"`{uid}`" for uid in report.missing[:10])]
+    if report.conflicts:
+        lines += ["", "Conflicting units: " + ", ".join(f"`{uid}`" for uid in report.conflicts[:10])]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,293 @@
+"""Shard runner: execute manifest units with per-unit checkpoints and resume.
+
+Every completed unit leaves two files under ``out_dir``:
+
+* ``units/<unit_id>.json`` -- the machine-readable artifact (unit identity +
+  NaN-sanitized payload, sorted keys, 2-space indent, trailing newline), the
+  only files the merge step compares for bit-identity;
+* ``status/<unit_id>.json`` -- run metadata (state, elapsed seconds, error),
+  which may differ between runs and is deliberately *not* part of the
+  artifact identity.
+
+On restart the runner skips any unit whose artifact and ``completed`` status
+already exist, so resuming after a kill recomputes nothing that finished.
+Search results of *completed* units also persist: each backend's engine
+writes its :class:`~repro.engine.SearchCache` to a shard-scoped pickle
+(:func:`repro.engine.shard_cache_filename`) after every unit, so even the
+units that were still pending at the kill restart against a warm cache.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro import __version__
+from repro.analysis.goldens import sanitize_payload
+from repro.engine import SearchEngine, shard_cache_filename
+from repro.orchestration.experiments import ExperimentContext, get_experiment
+from repro.orchestration.manifest import NO_BACKEND, RunManifest
+from repro.workloads.registry import get_workload_spec
+
+MANIFEST_FILENAME = "manifest.json"
+RUN_FILENAME = "run.json"
+UNITS_DIRNAME = "units"
+STATUS_DIRNAME = "status"
+CACHE_DIRNAME = "cache"
+SHARDS_DIRNAME = "shards"
+
+
+def write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        # Explicit UTF-8: artifact bytes are part of the bit-identity
+        # contract and must not vary with the locale encoding.
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def dump_document(document) -> str:
+    """The one JSON serialisation used for every artifact (deterministic)."""
+    return json.dumps(document, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def unit_artifact_path(out_dir: str, unit_id: str) -> str:
+    return os.path.join(out_dir, UNITS_DIRNAME, f"{unit_id}.json")
+
+
+def unit_status_path(out_dir: str, unit_id: str) -> str:
+    return os.path.join(out_dir, STATUS_DIRNAME, f"{unit_id}.json")
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :meth:`Runner.run` call (one shard attempt)."""
+
+    shard: tuple = (1, 1)
+    units_total: int = 0
+    units_completed: int = 0
+    units_skipped: int = 0
+    units_failed: int = 0
+    units_pending: int = 0
+    failures: list = field(default_factory=list)
+    engine_stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.units_failed == 0
+
+    @property
+    def complete(self) -> bool:
+        return self.ok and self.units_pending == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": list(self.shard),
+            "units_total": self.units_total,
+            "units_completed": self.units_completed,
+            "units_skipped": self.units_skipped,
+            "units_failed": self.units_failed,
+            "units_pending": self.units_pending,
+            "failures": list(self.failures),
+            "engine_stats": dict(self.engine_stats),
+            "version": __version__,
+        }
+
+    def describe(self) -> str:
+        index, count = self.shard
+        state = "ok" if self.complete else ("failed" if not self.ok else "partial")
+        return (
+            f"shard {index}/{count}: {state} -- {self.units_completed} computed, "
+            f"{self.units_skipped} skipped, {self.units_failed} failed, "
+            f"{self.units_pending} pending of {self.units_total} units"
+        )
+
+
+class Runner:
+    """Execute one shard of a manifest into an artifact tree under ``out_dir``."""
+
+    def __init__(self, manifest: RunManifest, out_dir: str, workers: int = 1):
+        self.manifest = manifest
+        self.out_dir = out_dir
+        self.workers = workers
+
+    # ------------------------------------------------------------- execution
+
+    def run(self, shard=(1, 1), resume: bool = True, max_units: int = None) -> RunReport:
+        """Run the shard; checkpoint every unit; skip completed ones on resume.
+
+        ``resume=False`` recomputes every unit of the shard from scratch
+        (artifacts are overwritten in place, still atomically).  ``max_units``
+        stops after that many fresh completions, leaving the rest pending --
+        the mechanism tests use to simulate a mid-shard kill, and a way to
+        timebox a run; the next ``resume`` picks up exactly where it stopped.
+        """
+        index, count = shard
+        units = self.manifest.shard(index, count)
+        self._write_manifest()
+        self._write_run_metadata(shard)
+        report = RunReport(shard=(index, count), units_total=len(units))
+        engines = {}
+        for unit in units:
+            if resume and self.is_completed(unit.unit_id):
+                report.units_skipped += 1
+                continue
+            if max_units is not None and report.units_completed >= max_units:
+                report.units_pending += 1
+                continue
+            started = time.monotonic()
+            try:
+                self._execute_unit(unit, engines, shard)
+            except Exception as error:  # noqa: BLE001 - one bad unit must not
+                # take the shard down; the failure is recorded and merge/CI
+                # surface it.
+                report.units_failed += 1
+                report.failures.append({"unit_id": unit.unit_id, "error": str(error)})
+                self._write_status(unit.unit_id, "failed", started, error=str(error))
+                continue
+            report.units_completed += 1
+            self._write_status(unit.unit_id, "completed", started)
+        report.engine_stats = {
+            backend: dict(engine.stats.as_dict(), cache_entries=len(engine.cache))
+            for backend, engine in engines.items()
+        }
+        self._write_shard_report(report)
+        return report
+
+    def is_completed(self, unit_id: str) -> bool:
+        """A unit is complete when both its artifact and status say so."""
+        artifact = unit_artifact_path(self.out_dir, unit_id)
+        status = unit_status_path(self.out_dir, unit_id)
+        if not (os.path.exists(artifact) and os.path.exists(status)):
+            return False
+        try:
+            with open(status) as handle:
+                return json.load(handle).get("state") == "completed"
+        except (OSError, ValueError):
+            return False
+
+    def _execute_unit(self, unit, engines: dict, shard) -> None:
+        experiment = get_experiment(unit.experiment)
+        engine = self._engine_for(unit.backend, engines, shard)
+        context = ExperimentContext(
+            workload=unit.workload,
+            layers=get_workload_spec(unit.workload),
+            engine=engine,
+            params=unit.params,
+        )
+        payload = sanitize_payload(experiment.build(context))
+        document = dict(unit.as_dict(), payload=payload)
+        write_text_atomic(
+            unit_artifact_path(self.out_dir, unit.unit_id), dump_document(document)
+        )
+        if engine is not None:
+            # Checkpoint after every unit so a kill loses at most one unit's
+            # worth of search results.
+            engine.save()
+
+    def _engine_for(self, backend: str, engines: dict, shard):
+        if backend == NO_BACKEND:
+            return None
+        if backend not in engines:
+            index, count = shard
+            cache_path = os.path.join(
+                self.out_dir, CACHE_DIRNAME, shard_cache_filename(backend, index, count)
+            )
+            engines[backend] = SearchEngine(
+                workers=self.workers, cache_path=cache_path, backend=backend
+            )
+        return engines[backend]
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def _write_manifest(self) -> None:
+        path = os.path.join(self.out_dir, MANIFEST_FILENAME)
+        text = self.manifest.to_json()
+        if os.path.exists(path):
+            with open(path) as handle:
+                if handle.read() != text:
+                    raise ValueError(
+                        f"{path} was written for a different spec; use a fresh "
+                        "--out-dir (or delete the old one) instead of mixing runs"
+                    )
+            return
+        write_text_atomic(path, text)
+
+    def _write_run_metadata(self, shard) -> None:
+        # First write wins: run.json describes the run that created this
+        # out-dir, so a one-off `resume --shard K/N` override applies to
+        # that invocation only and never re-records the directory as a
+        # different shard (a later plain `resume` still finishes the
+        # original shard).  A *different spec* never reaches this point --
+        # _write_manifest has already rejected it.
+        path = os.path.join(self.out_dir, RUN_FILENAME)
+        if os.path.exists(path):
+            return
+        document = {
+            "format": "repro-run-v1",
+            "spec": self.manifest.spec.as_dict(),
+            "shard": list(shard),
+            "workers": self.workers,
+            "version": __version__,
+        }
+        write_text_atomic(path, dump_document(document))
+
+    def _write_status(self, unit_id: str, state: str, started: float, error: str = None) -> None:
+        document = {
+            "unit_id": unit_id,
+            "state": state,
+            "elapsed_seconds": round(time.monotonic() - started, 6),
+        }
+        if error is not None:
+            document["error"] = error
+        write_text_atomic(
+            unit_status_path(self.out_dir, unit_id), dump_document(document)
+        )
+
+    def _write_shard_report(self, report: RunReport) -> None:
+        # One report file per *attempt*, never overwritten: a kill-then-resume
+        # (or the CI resume-is-a-no-op check) must not wipe the engine
+        # statistics of the attempt that did the work -- the merge step sums
+        # every report file it finds, so the aggregate always reflects all
+        # search work performed across attempts.
+        index, count = report.shard
+        directory = os.path.join(self.out_dir, SHARDS_DIRNAME)
+        base = f"shard-{index}of{count}-attempt"
+        attempt = len(glob.glob(os.path.join(directory, f"{base}*.json"))) + 1
+        document = dict(report.as_dict(), attempt=attempt)
+        path = os.path.join(directory, f"{base}{attempt:03d}.json")
+        write_text_atomic(path, dump_document(document))
+
+
+def load_run_metadata(out_dir: str) -> dict:
+    """Read ``run.json`` (spec + shard) for ``resume``; raises when absent."""
+    path = os.path.join(out_dir, RUN_FILENAME)
+    if not os.path.exists(path):
+        raise ValueError(
+            f"{path} not found: nothing to resume (run "
+            "'repro-experiments run' or 'reproduce-all' into this directory first)"
+        )
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-run-v1" or not (
+        isinstance(document.get("spec"), dict)
+        and isinstance(document.get("shard"), list)
+        and len(document["shard"]) == 2
+    ):
+        raise ValueError(
+            f"{path} is not a complete repro run description; re-run "
+            "'repro-experiments run' to rewrite it"
+        )
+    return document

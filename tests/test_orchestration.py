@@ -1,0 +1,574 @@
+"""Tests for the run orchestrator: manifests, sharding, resume, merge.
+
+The acceptance contract under test:
+
+* manifest expansion is deterministic and duplicate-free;
+* the union of shards equals the full unit set for several shard counts;
+* a run killed mid-shard resumes with ``units_skipped`` equal to the units
+  completed before the kill, recomputes zero completed units (engine stats
+  stay empty on a fully-complete resume), and the final artifacts are
+  bit-identical to an uninterrupted run;
+* merging shard trees is bit-identical to a single unsharded run, and the
+  merged goldens units diff clean against pinned golden files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.goldens import write_goldens
+from repro.cli import main
+from repro.engine import CacheStats, shard_cache_filename
+from repro.orchestration.experiments import (
+    PAPER_EXPERIMENTS,
+    experiment_names,
+    get_experiment,
+)
+from repro.orchestration.manifest import (
+    NO_BACKEND,
+    ManifestSpec,
+    RunManifest,
+    parse_shard,
+)
+from repro.orchestration.merge import (
+    diff_merged_goldens,
+    merge_runs,
+    summary_markdown,
+)
+from repro.orchestration.runner import Runner, unit_artifact_path, unit_status_path
+
+#: A small spec that exercises search-based, model-only and goldens units
+#: while staying fast (the tiny workload, two tiny capacities).
+TINY_SPEC = dict(
+    workloads=("tiny",),
+    experiments=("fig13", "fig14", "fig16", "table4", "goldens"),
+    params={"fig13": {"capacities_kib": [8, 16]}, "fig14": {"capacity_kib": 4}},
+)
+
+
+def tiny_manifest() -> RunManifest:
+    return RunManifest.from_spec(ManifestSpec(**TINY_SPEC))
+
+
+def read_tree(out_dir):
+    """{relative path: bytes} of the merge-compared artifact files."""
+    tree = {}
+    for name in ("manifest.json",):
+        with open(os.path.join(out_dir, name), "rb") as handle:
+            tree[name] = handle.read()
+    units_dir = os.path.join(out_dir, "units")
+    for name in sorted(os.listdir(units_dir)):
+        with open(os.path.join(units_dir, name), "rb") as handle:
+            tree[f"units/{name}"] = handle.read()
+    return tree
+
+
+class TestManifest:
+    def test_expansion_is_deterministic(self):
+        first = tiny_manifest()
+        second = tiny_manifest()
+        assert [unit.unit_id for unit in first.units] == [
+            unit.unit_id for unit in second.units
+        ]
+        assert first.to_json() == second.to_json()
+
+    def test_expansion_is_duplicate_free(self):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny", "tiny"),
+                experiments=("fig13", "fig13", "fig16"),
+            )
+        )
+        ids = [unit.unit_id for unit in manifest.units]
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_backend_expansion_only_for_search_experiments(self):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig13", "fig16"),
+                backends=("numpy", "python"),
+            )
+        )
+        by_experiment = {}
+        for unit in manifest.units:
+            by_experiment.setdefault(unit.experiment, []).append(unit.backend)
+        assert sorted(by_experiment["fig13"]) == ["numpy", "python"]
+        assert by_experiment["fig16"] == [NO_BACKEND]
+
+    def test_full_paper_spec_covers_every_experiment(self):
+        manifest = RunManifest.from_spec(ManifestSpec())
+        assert {unit.experiment for unit in manifest.units} == set(PAPER_EXPERIMENTS)
+        assert set(PAPER_EXPERIMENTS) <= set(experiment_names())
+
+    def test_params_default_and_override(self):
+        manifest = tiny_manifest()
+        fig13 = [unit for unit in manifest.units if unit.experiment == "fig13"]
+        assert fig13[0].params == {"capacities_kib": [8, 16]}
+        default = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig13",))
+        )
+        assert default.units[0].params == dict(get_experiment("fig13").default_params)
+
+    @pytest.mark.parametrize("count", [1, 2, 5])
+    def test_shard_union_is_full_set(self, count):
+        manifest = tiny_manifest()
+        seen = []
+        for index in range(1, count + 1):
+            seen += [unit.unit_id for unit in manifest.shard(index, count)]
+        assert len(seen) == len(manifest)
+        assert set(seen) == manifest.unit_ids()
+
+    def test_shard_validation(self):
+        manifest = tiny_manifest()
+        with pytest.raises(ValueError):
+            manifest.shard(0, 2)
+        with pytest.raises(ValueError):
+            manifest.shard(3, 2)
+        assert parse_shard("2/4") == (2, 4)
+        with pytest.raises(ValueError):
+            parse_shard("4/2")
+        with pytest.raises(ValueError):
+            parse_shard("half")
+
+    def test_manifest_json_roundtrip(self):
+        manifest = tiny_manifest()
+        reloaded = RunManifest.from_json(manifest.to_json())
+        assert reloaded.to_json() == manifest.to_json()
+
+
+class TestRunner:
+    def test_run_writes_artifacts_and_statuses(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        manifest = tiny_manifest()
+        report = Runner(manifest, out_dir).run()
+        assert report.complete
+        assert report.units_completed == len(manifest)
+        for unit in manifest.units:
+            with open(unit_artifact_path(out_dir, unit.unit_id)) as handle:
+                document = json.load(handle)
+            assert document["unit_id"] == unit.unit_id
+            assert document["experiment"] == unit.experiment
+            assert document["payload"]
+            with open(unit_status_path(out_dir, unit.unit_id)) as handle:
+                assert json.load(handle)["state"] == "completed"
+        # The shard-scoped engine cache persisted (resume starts warm).
+        assert os.path.exists(
+            os.path.join(out_dir, "cache", shard_cache_filename("auto", 1, 1))
+        )
+
+    def test_out_dir_rejects_a_different_spec(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        Runner(tiny_manifest(), out_dir).run()
+        other = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        with pytest.raises(ValueError, match="different spec"):
+            Runner(other, out_dir).run()
+
+    def test_failed_unit_is_recorded_and_does_not_stop_the_shard(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        # 0.001 KB cannot fit any tiling: fig14 must fail, fig16 must pass.
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig14", "fig16"),
+                params={"fig14": {"capacity_kib": 0.001}},
+            )
+        )
+        report = Runner(manifest, out_dir).run()
+        assert report.units_failed == 1
+        assert report.units_completed == 1
+        assert not report.ok
+        assert "no tiling" in report.failures[0]["error"]
+        failed_id = report.failures[0]["unit_id"]
+        with open(unit_status_path(out_dir, failed_id)) as handle:
+            status = json.load(handle)
+        assert status["state"] == "failed"
+        assert not os.path.exists(unit_artifact_path(out_dir, failed_id))
+
+
+class TestKillAndResume:
+    def test_interrupted_shard_resumes_without_recomputation(self, tmp_path):
+        manifest = tiny_manifest()
+        total = len(manifest)
+        killed_dir = str(tmp_path / "killed")
+        clean_dir = str(tmp_path / "clean")
+
+        # Simulate a kill: stop after 2 fresh completions.
+        before_kill = Runner(manifest, killed_dir).run(max_units=2)
+        assert before_kill.units_completed == 2
+        assert before_kill.units_pending == total - 2
+
+        # Resume: exactly the completed units are skipped, the rest run.
+        resumed = Runner(manifest, killed_dir).run()
+        assert resumed.units_skipped == before_kill.units_completed
+        assert resumed.units_completed == total - 2
+        assert resumed.complete
+
+        # A second resume recomputes zero units and never builds an engine.
+        noop = Runner(manifest, killed_dir).run()
+        assert noop.units_skipped == total
+        assert noop.units_completed == 0
+        assert noop.engine_stats == {}
+
+        # The interrupted-then-resumed tree is bit-identical to a clean run.
+        assert Runner(manifest, clean_dir).run().complete
+        assert read_tree(killed_dir) == read_tree(clean_dir)
+
+    def test_resumed_engine_starts_from_the_persisted_cache(self, tmp_path):
+        # Search-based units only, so the first completed unit always has an
+        # engine whose statistics we can compare across runs.
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig13", "fig14"),
+                params=dict(TINY_SPEC["params"]),
+            )
+        )
+        out_dir = str(tmp_path / "run")
+        first = Runner(manifest, out_dir).run(max_units=1)
+        assert first.units_completed == 1
+        (first_stats,) = first.engine_stats.values()
+        assert first_stats["cache_entries"] > 0
+        # Force-recomputing the same unit set hits the shard cache file: the
+        # resumed engine reloads every persisted entry instead of searching.
+        second = Runner(manifest, out_dir).run(resume=False, max_units=1)
+        (second_stats,) = second.engine_stats.values()
+        assert second_stats["misses"] == 0
+        assert second_stats["hits"] == first_stats["hits"] + first_stats["misses"]
+
+
+class TestMerge:
+    @pytest.mark.parametrize("count", [2, 5])
+    def test_sharded_merge_is_bit_identical_to_unsharded(self, tmp_path, count):
+        manifest = tiny_manifest()
+        shard_dirs = []
+        for index in range(1, count + 1):
+            shard_dir = str(tmp_path / f"shard-{index}")
+            report = Runner(manifest, shard_dir).run(shard=(index, count))
+            assert report.complete
+            shard_dirs.append(shard_dir)
+        merged_dir = str(tmp_path / "merged")
+        merge_report = merge_runs(shard_dirs, merged_dir)
+        assert merge_report.ok
+        assert merge_report.units_merged == len(manifest)
+
+        full_dir = str(tmp_path / "full")
+        assert Runner(manifest, full_dir).run().complete
+        assert read_tree(merged_dir) == read_tree(full_dir)
+
+    def test_merge_aggregates_engine_stats_across_shards(self, tmp_path):
+        manifest = tiny_manifest()
+        shard_dirs = []
+        expected = CacheStats()
+        for index in (1, 2):
+            shard_dir = str(tmp_path / f"shard-{index}")
+            report = Runner(manifest, shard_dir).run(shard=(index, 2))
+            shard_dirs.append(shard_dir)
+            for stats in report.engine_stats.values():
+                expected.merge(CacheStats.from_dict(stats))
+        merge_report = merge_runs(shard_dirs, str(tmp_path / "merged"))
+        assert merge_report.engine_stats["auto"]["hits"] == expected.hits
+        assert merge_report.engine_stats["auto"]["misses"] == expected.misses
+
+    def test_resume_attempts_never_wipe_shard_stats(self, tmp_path):
+        manifest = tiny_manifest()
+        out_dir = str(tmp_path / "run")
+        killed = Runner(manifest, out_dir).run(max_units=2)
+        resumed = Runner(manifest, out_dir).run()
+        noop = Runner(manifest, out_dir).run()
+        assert noop.engine_stats == {}
+        expected = CacheStats()
+        for attempt in (killed, resumed):
+            for stats in attempt.engine_stats.values():
+                expected.merge(CacheStats.from_dict(stats))
+        # The merge aggregate must see the work of *both* attempts even
+        # though the last run (the no-op resume) did none.
+        report = merge_runs([out_dir], str(tmp_path / "merged"))
+        assert report.engine_stats["auto"]["misses"] == expected.misses
+        assert report.engine_stats["auto"]["hits"] == expected.hits
+        assert len(report.shard_reports) == 3
+
+    def test_merge_reports_missing_units(self, tmp_path):
+        manifest = tiny_manifest()
+        shard_dir = str(tmp_path / "shard-1")
+        # Only shard 1 of 2 ran: the other shard's units are missing.
+        Runner(manifest, shard_dir).run(shard=(1, 2))
+        report = merge_runs([shard_dir], str(tmp_path / "merged"))
+        assert not report.ok
+        missing = {unit.unit_id for unit in manifest.shard(2, 2)}
+        assert set(report.missing) == missing
+
+    def test_merge_detects_conflicting_duplicates(self, tmp_path):
+        manifest = tiny_manifest()
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        Runner(manifest, dir_a).run()
+        Runner(manifest, dir_b).run()
+        victim = manifest.units[0].unit_id
+        path = unit_artifact_path(dir_b, victim)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["payload"] = {"tampered": True}
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        report = merge_runs([dir_a, dir_b], str(tmp_path / "merged"))
+        assert report.conflicts == [victim]
+        assert not report.ok
+
+    def test_remerge_rejects_an_out_dir_of_a_different_spec(self, tmp_path):
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        merged = str(tmp_path / "merged")
+        Runner(tiny_manifest(), dir_a).run()
+        merge_runs([dir_a], merged)
+        other = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        Runner(other, dir_b).run()
+        with pytest.raises(ValueError, match="different spec"):
+            merge_runs([dir_b], merged)
+        # The original merge is untouched: no stale mixing of the two specs.
+        assert read_tree(merged) == read_tree(dir_a)
+
+    def test_remerge_removes_stale_unit_files(self, tmp_path):
+        manifest = tiny_manifest()
+        shard_dir = str(tmp_path / "shard")
+        merged = str(tmp_path / "merged")
+        Runner(manifest, shard_dir).run()
+        merge_runs([shard_dir], merged)
+        stale = os.path.join(merged, "units", "zzz--stale--none--0000000000.json")
+        with open(stale, "w") as handle:
+            handle.write("{}")
+        report = merge_runs([shard_dir], merged)
+        assert report.ok
+        assert not os.path.exists(stale)
+        assert read_tree(merged) == read_tree(shard_dir)
+
+    def test_merge_rejects_mismatched_manifests(self, tmp_path):
+        dir_a = str(tmp_path / "a")
+        dir_b = str(tmp_path / "b")
+        Runner(tiny_manifest(), dir_a).run()
+        other = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        Runner(other, dir_b).run()
+        with pytest.raises(ValueError, match="different specs"):
+            merge_runs([dir_a, dir_b], str(tmp_path / "merged"))
+
+
+class TestGoldensDiff:
+    def test_merged_goldens_diff_clean_against_pinned_files(self, tmp_path):
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        assert Runner(manifest, out_dir).run().complete
+        merged_dir = str(tmp_path / "merged")
+        report = merge_runs([out_dir], merged_dir)
+        diff = diff_merged_goldens(merged_dir, goldens_dir)
+        assert diff == {"tiny": []}
+        markdown = summary_markdown(report, diff)
+        assert "| tiny |" in markdown and "✅" in markdown
+
+    def test_multi_backend_mismatch_is_never_masked(self, tmp_path):
+        pytest.importorskip("numpy")
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("goldens",),
+                backends=("numpy", "python"),
+            )
+        )
+        assert Runner(manifest, out_dir).run().complete
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        assert diff_merged_goldens(merged_dir, goldens_dir) == {"tiny": []}
+        # Corrupt only the numpy unit: the clean python unit must not mask it.
+        numpy_unit = next(
+            unit for unit in manifest.units if unit.backend == "numpy"
+        )
+        path = unit_artifact_path(merged_dir, numpy_unit.unit_id)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["payload"]["workload"] = "tampered"
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        diff = diff_merged_goldens(merged_dir, goldens_dir)
+        assert any(problem.startswith("[numpy]") for problem in diff["tiny"])
+
+    def test_diff_without_goldens_units_is_an_error_not_a_pass(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        Runner(manifest, out_dir).run()
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        with pytest.raises(ValueError, match="no 'goldens' units"):
+            diff_merged_goldens(merged_dir, str(tmp_path / "goldens"))
+
+    def test_merge_json_stdout_is_parseable_with_diff_goldens(self, tmp_path, capsys):
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        Runner(manifest, out_dir).run()
+        merged_dir = str(tmp_path / "merged")
+        assert main([
+            "merge", out_dir, "--out-dir", merged_dir,
+            "--diff-goldens", goldens_dir, "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)  # whole stdout is JSON
+        assert document["goldens"] == {"tiny": []}
+
+    def test_missing_pin_is_reported(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        Runner(manifest, out_dir).run()
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        diff = diff_merged_goldens(merged_dir, str(tmp_path / "nowhere"))
+        assert "no pinned golden file" in diff["tiny"][0]
+
+
+class TestOrchestrationCli:
+    def run_cli(self, *argv):
+        return main(list(argv))
+
+    def test_run_resume_merge_roundtrip(self, tmp_path, capsys):
+        s1 = str(tmp_path / "s1")
+        s2 = str(tmp_path / "s2")
+        merged = str(tmp_path / "merged")
+        base = [
+            "--workloads", "tiny", "--experiments", "fig13", "fig16",
+            "--capacities", "8", "16",
+        ]
+        assert self.run_cli("run", "--out-dir", s1, "--shard", "1/2", *base) == 0
+        assert self.run_cli("run", "--out-dir", s2, "--shard", "2/2", *base) == 0
+        capsys.readouterr()
+
+        assert self.run_cli("resume", "--out-dir", s1, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["units_completed"] == 0
+        assert report["units_skipped"] == report["units_total"]
+        assert report["engine_stats"] == {}
+
+        assert self.run_cli("merge", s1, s2, "--out-dir", merged, "--json") == 0
+        merge_report = json.loads(capsys.readouterr().out)
+        assert merge_report["ok"] is True
+        assert merge_report["units_merged"] == 2  # fig13 + fig16 on tiny
+        assert os.path.exists(os.path.join(merged, "manifest.json"))
+
+    def test_reproduce_all_accepts_narrowed_spec(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert self.run_cli(
+            "reproduce-all", "--out-dir", out_dir,
+            "--workloads", "tiny", "--experiments", "fig16", "table4", "--json",
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["units_total"] == 2
+        assert report["units_failed"] == 0
+
+    def test_merge_summary_file_gets_markdown(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        summary = str(tmp_path / "summary.md")
+        assert self.run_cli(
+            "run", "--out-dir", out_dir,
+            "--workloads", "tiny", "--experiments", "fig16",
+        ) == 0
+        assert self.run_cli(
+            "merge", out_dir, "--out-dir", str(tmp_path / "merged"),
+            "--summary-file", summary,
+        ) == 0
+        capsys.readouterr()
+        with open(summary) as handle:
+            text = handle.read()
+        assert "## Full-paper reproduction merge" in text
+        assert "| units merged | 1 |" in text
+
+    def test_resume_shard_override_is_per_invocation(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        base = ["--workloads", "tiny", "--experiments", "fig13", "fig16",
+                "--capacities", "8", "16"]
+        assert self.run_cli("run", "--out-dir", out_dir, "--shard", "1/2", *base) == 0
+        # A one-off override runs the other shard but must not re-record
+        # the out-dir: a later plain resume still targets shard 1/2.
+        assert self.run_cli("resume", "--out-dir", out_dir, "--shard", "2/2") == 0
+        capsys.readouterr()
+        with open(os.path.join(out_dir, "run.json")) as handle:
+            assert json.load(handle)["shard"] == [1, 2]
+        assert self.run_cli("resume", "--out-dir", out_dir, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["shard"] == [1, 2]
+
+    def test_resume_without_run_exits_2(self, tmp_path, capsys):
+        assert self.run_cli("resume", "--out-dir", str(tmp_path / "empty")) == 2
+        err = capsys.readouterr().err
+        assert "nothing to resume" in err
+        assert "Traceback" not in err
+
+    def test_bad_shard_spec_exits_2(self, tmp_path, capsys):
+        assert self.run_cli(
+            "run", "--out-dir", str(tmp_path / "o"),
+            "--workloads", "tiny", "--experiments", "fig16", "--shard", "9/2",
+        ) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        assert self.run_cli(
+            "run", "--out-dir", str(tmp_path / "o"), "--workloads", "nope",
+        ) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_flat_cli_experiment_aliases_are_accepted(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert self.run_cli(
+            "run", "--out-dir", out_dir, "--workloads", "tiny",
+            "--experiments", "fig15", "table3", "--json",
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        # Both aliases resolve (and deduplicate) to the one fig15_table3 unit.
+        assert report["units_total"] == 1
+        assert report["units_failed"] == 0
+
+    def test_unknown_experiment_exits_2_without_quoting(self, tmp_path, capsys):
+        assert self.run_cli(
+            "run", "--out-dir", str(tmp_path / "o"), "--workloads", "tiny",
+            "--experiments", "fig99",
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error: unknown experiment 'fig99'" in err
+        assert 'error: "' not in err
+
+    def test_list_experiments_needs_no_out_dir(self, capsys):
+        assert self.run_cli("run", "--list-experiments") == 0
+        out = capsys.readouterr().out.split()
+        assert "fig13" in out and "goldens" in out
+
+    def test_run_without_out_dir_exits_2(self, capsys):
+        assert self.run_cli("run", "--workloads", "tiny") == 2
+        assert "--out-dir is required" in capsys.readouterr().err
+
+    def test_bad_workers_fails_fast_with_exit_2(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "o")
+        assert self.run_cli(
+            "run", "--out-dir", out_dir, "--workloads", "tiny",
+            "--experiments", "fig13", "--workers", "-3",
+        ) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+        # Fast fail: no per-unit failure artifacts were written.
+        assert not os.path.exists(os.path.join(out_dir, "status"))
