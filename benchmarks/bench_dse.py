@@ -1,0 +1,157 @@
+"""Design-space exploration benchmarks and performance gates.
+
+Two checks ride in CI's perf-smoke step:
+
+* the headline gate: one and the same DSE sweep (VGG-16, a Table I-shaped
+  candidate space) run end to end on the NumPy backend and on the scalar
+  reference must produce **bit-identical** payloads with the NumPy run
+  >= 10x faster -- the vectorized candidate grids answer every capacity
+  point of a config family at once, the scalar loop pays per capacity;
+* the acceptance run: the full default space (>= 200 candidate configs,
+  ~850 in practice) on VGG-16 finishes in under 30 seconds on the NumPy
+  backend and its Pareto frontier contains or dominates the paper's
+  Implementation 5.
+
+The config *enumeration* comparison is also printed for visibility.  Its
+scalar loop prunes aggressively and builds the same Python tuples, so
+enumeration alone is not artificially gated -- the sweep gate is the honest
+end-to-end measurement.
+"""
+
+import json
+import time
+
+from repro.arch.config import paper_implementation
+from repro.dse.explore import design_space_exploration
+from repro.dse.pareto import contains_or_dominates
+from repro.dse.space import CandidateSpace, enumerate_splits
+from repro.engine import SearchEngine
+
+import numpy  # noqa: F401  (the gates measure the vectorized backend)
+
+#: A Table I-shaped space whose sweep is small enough to run on the scalar
+#: reference in CI but large enough that the vectorized win is unambiguous.
+GATE_SPACE = CandidateSpace(
+    pe_dims=(16, 32, 64),
+    lreg_words=(32, 64, 128),
+    igbuf_words=(1024,),
+    wgbuf_words=(256, 320),
+)
+
+#: A ~10^6-candidate space for the enumeration comparison.
+BIG_SPACE = CandidateSpace(
+    pe_dims=tuple(range(4, 257, 4)),
+    lreg_words=(8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768),
+    igbuf_words=tuple(256 * step for step in range(1, 33)),
+    wgbuf_words=tuple(128 * step for step in range(1, 25)),
+)
+
+
+def test_dse_sweep_vectorized_vs_scalar_10x(vgg_layers):
+    """Perf gate: the whole sweep, NumPy backend vs scalar reference.
+
+    Both runs start from a cold cache with one worker; the payloads must be
+    bit-identical (the speedup is worthless if the frontier moves).
+    """
+    budget_kib = 140.0
+
+    start = time.perf_counter()
+    scalar = design_space_exploration(
+        budget_kib=budget_kib,
+        layers=vgg_layers,
+        engine=SearchEngine(workers=1, backend="python"),
+        space=GATE_SPACE,
+    )
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized = design_space_exploration(
+        budget_kib=budget_kib,
+        layers=vgg_layers,
+        engine=SearchEngine(workers=1, backend="numpy"),
+        space=GATE_SPACE,
+    )
+    vectorized_seconds = time.perf_counter() - start
+
+    assert json.dumps(vectorized, sort_keys=True) == json.dumps(scalar, sort_keys=True), (
+        "the sweep payload moved between backends"
+    )
+    speedup = scalar_seconds / vectorized_seconds
+    print(
+        f"\nvgg16 DSE sweep ({scalar['config_count']} configs, cold cache, 1 worker):\n"
+        f"  scalar backend     {scalar_seconds:8.2f} s\n"
+        f"  vectorized backend {vectorized_seconds:8.2f} s\n"
+        f"  speedup            {speedup:8.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"vectorized DSE sweep only {speedup:.1f}x faster than scalar "
+        f"({vectorized_seconds:.2f}s vs {scalar_seconds:.2f}s)"
+    )
+
+
+def test_dse_enumeration_backends_agree_at_scale():
+    """The staged meshgrid enumerator on a ~10^6-candidate space.
+
+    Bit-identity is the assertion; the timing comparison is printed for
+    visibility.  Both backends prune at the psum stage and build the same
+    Python tuple list, so enumeration alone is roughly a wash -- the
+    vectorized payoff is in the sweep's search stage, gated above.
+    """
+    budget_words = 8_000
+
+    start = time.perf_counter()
+    scalar = enumerate_splits(budget_words, BIG_SPACE, backend="python")
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized = enumerate_splits(budget_words, BIG_SPACE, backend="numpy")
+    vectorized_seconds = time.perf_counter() - start
+
+    assert vectorized == scalar, "backends enumerated different candidate lists"
+    print(
+        f"\nconfig enumeration ({len(scalar)} candidates kept):\n"
+        f"  scalar loops   {scalar_seconds * 1e3:8.1f} ms\n"
+        f"  numpy meshgrid {vectorized_seconds * 1e3:8.1f} ms"
+    )
+
+
+def test_dse_vgg16_default_sweep_under_30s(vgg_layers):
+    """Acceptance gate: a >= 200-config VGG-16 sweep in seconds, cold cache.
+
+    Runs the whole default candidate space at the default 140 KiB budget on
+    the NumPy backend and checks the headline claims: enough candidates,
+    bounded wall clock, and a frontier that contains or dominates the
+    paper's Implementation 5 (whose memory split is itself an enumerated
+    candidate).
+    """
+    start = time.perf_counter()
+    payload = design_space_exploration(
+        budget_kib=140.0,
+        layers=vgg_layers,
+        engine=SearchEngine(backend="numpy"),
+    )
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"\nvgg16 DSE sweep: {payload['config_count']} configs "
+        f"({payload['infeasible_count']} infeasible) -> "
+        f"{len(payload['frontier'])} frontier points in {elapsed:.2f} s"
+    )
+    assert payload["config_count"] >= 200
+    assert elapsed < 30.0, f"sweep took {elapsed:.1f}s (gate: 30s)"
+
+    impl5 = paper_implementation(5)
+    rows = {
+        (
+            row["pe_rows"],
+            row["pe_cols"],
+            row["lreg_words_per_pe"],
+            row["igbuf_words"],
+            row["wgbuf_words"],
+        ): row
+        for row in payload["configs"]
+    }
+    assert impl5.memory_split in rows, "Implementation 5 was not enumerated"
+    assert contains_or_dominates(
+        payload["frontier"], rows[impl5.memory_split], tuple(payload["objectives"])
+    ), "the frontier neither contains nor dominates Implementation 5"

@@ -81,6 +81,38 @@ def main() -> None:
         "shrink the register static energy and the runtime at the cost of power."
     )
 
+    _pareto_sweep(layers)
+
+
+def _pareto_sweep(layers) -> None:
+    """The same question answered by the DSE subsystem: enumerate every
+    config under a budget, co-search dataflows + tilings, keep the Pareto
+    frontier.  Uses the vectorized backend (skipped without numpy: the
+    scalar reference multiplies the sweep cost ~100x)."""
+    from repro.analysis.report import format_dse_frontier
+    from repro.dse import CandidateSpace, design_space_exploration
+    from repro.engine import SearchEngine
+
+    try:
+        engine = SearchEngine(backend="numpy")
+    except ValueError:
+        print("\n(numpy not installed -- skipping the Pareto budget sweep;")
+        print(" run `repro-experiments dse --budget 140` on a numpy install)")
+        return
+    payload = design_space_exploration(
+        budget_kib=140.0,
+        layers=layers,
+        engine=engine,
+        space=CandidateSpace(
+            pe_dims=(8, 16, 32, 64),
+            lreg_words=(16, 32, 64, 128, 256, 512),
+            igbuf_words=(1024, 1536),
+            wgbuf_words=(256, 320),
+        ),
+    )
+    print("\nAnd the systematic version (`repro-experiments dse --budget 140`):\n")
+    print(format_dse_frontier(payload))
+
 
 if __name__ == "__main__":
     main()

@@ -110,3 +110,60 @@ def format_gbuf_dram_ratio(ratio: dict) -> str:
         f"GBuf write / DRAM read = {overall['gbuf_write_over_dram_read']:.2f}x"
     )
     return "\n".join(lines)
+
+
+def format_dse_frontier(payload: dict) -> str:
+    """Render one DSE sweep payload (or a merged frontier) as a text report.
+
+    ``payload`` needs the sweep header fields plus ``frontier`` rows; the
+    full per-config list is deliberately not printed (it lives in the JSON
+    artifact).
+    """
+    slice_index, slice_count = payload.get("slice", (1, 1))
+    header = (
+        f"DSE: {payload['config_count']} feasible configs under "
+        f"{payload['budget_kib']:g} KiB effective on-chip memory "
+        f"(of {payload['config_count_total']} candidates"
+    )
+    if payload.get("infeasible_count"):
+        header += f", {payload['infeasible_count']} infeasible"
+    header += ")"
+    if slice_count > 1:
+        header += f" [slice {slice_index}/{slice_count}]"
+    objectives = ", ".join(payload["objectives"])
+    lines = [header, f"Pareto frontier over ({objectives}): {len(payload['frontier'])} points"]
+    rows = []
+    for row in payload["frontier"]:
+        dominant = max(row["dataflows"].items(), key=lambda item: (item[1], item[0]))[0]
+        rows.append(
+            [
+                row["config"],
+                f"{row['pe_rows']}x{row['pe_cols']}",
+                row["lreg_words_per_pe"],
+                row["igbuf_words"],
+                row["wgbuf_words"],
+                row["effective_kib"],
+                row["objectives"]["dram"],
+                row["objectives"]["energy"],
+                row["objectives"]["time"],
+                dominant,
+            ]
+        )
+    lines.append(
+        format_table(
+            [
+                "config",
+                "PEs",
+                "LReg/PE",
+                "IGBuf",
+                "WGBuf",
+                "eff KiB",
+                "DRAM GB",
+                "pJ/MAC",
+                "time ms",
+                "dataflow",
+            ],
+            rows,
+        )
+    )
+    return "\n".join(lines)

@@ -102,6 +102,24 @@ class AcceleratorConfig:
         """Number of PE-group columns (= number of input GReg copies)."""
         return self.pe_cols // self.group_cols
 
+    @property
+    def memory_split(self) -> tuple:
+        """Budget-relevant identity: ``(p, q, LReg/PE, IGBuf, WGBuf)`` words.
+
+        Two configurations with equal splits occupy the same effective
+        on-chip memory and are interchangeable for the DSE objective model
+        (GReg sizing and the clock are outside the SRAM budget), so the
+        design-space exploration and its Table I cross-check compare
+        configurations by this tuple rather than by name.
+        """
+        return (
+            self.pe_rows,
+            self.pe_cols,
+            self.lreg_words_per_pe,
+            self.igbuf_words,
+            self.wgbuf_words,
+        )
+
     def describe(self) -> str:
         """Human-readable summary matching the Table I columns."""
         return (

@@ -30,6 +30,16 @@ resumable after a kill, merged into one machine-readable artifact tree; see
     repro-experiments resume --out-dir out/shard-1
     repro-experiments merge out/shard-* --out-dir out/merged \\
         --diff-goldens tests/goldens
+
+Hardware design-space exploration: the ``dse`` experiment sweeps candidate
+accelerator configs under an SRAM budget and prints the Pareto frontier
+over (DRAM traffic, energy, execution time); ``frontier`` merges the
+archived slice frontiers of orchestrated sweeps::
+
+    repro-experiments dse --budget 140 --objectives dram energy time
+    repro-experiments run --out-dir out/dse --experiments dse \\
+        --budget 140 --dse-slices 4 --shard 1/2
+    repro-experiments frontier out/merged --workload vgg16
 """
 
 from __future__ import annotations
@@ -63,8 +73,9 @@ from repro.workloads.registry import (
     list_workloads,
 )
 
-#: Subcommands handled by the orchestration CLI (sharded runs, merge).
-ORCHESTRATION_COMMANDS = ("run", "resume", "merge", "reproduce-all")
+#: Subcommands handled by the orchestration CLI (sharded runs, merge,
+#: cross-artifact frontier merges).
+ORCHESTRATION_COMMANDS = ("run", "resume", "merge", "reproduce-all", "frontier")
 
 def _experiment_choices() -> list:
     """Flat experiment choices, derived from the registry.
@@ -130,6 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=FIG14_DEFAULT_CAPACITY_KIB,
         help="effective on-chip memory size in KB for fig14 (default 66.5)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="KIB",
+        help="dse: effective on-chip memory budget in KiB for the candidate "
+        "configs (default 140, just above Table I's implementation 5)",
+    )
+    parser.add_argument(
+        "--objectives",
+        nargs="+",
+        choices=["dram", "energy", "time"],
+        default=None,
+        help="dse: objectives the Pareto frontier minimises (default: all three)",
     )
     parser.add_argument(
         "--workers",
@@ -276,6 +302,11 @@ def _dispatch(name: str, args, layers, engine) -> None:
         params["capacities_kib"] = list(args.capacities)
     elif name == "fig14":
         params["capacity_kib"] = args.capacity
+    elif name == "dse":
+        if args.budget is not None:
+            params["budget_kib"] = args.budget
+        if args.objectives:
+            params["objectives"] = list(args.objectives)
     context = ExperimentContext(
         workload=args.workload, layers=layers, engine=engine, params=params
     )

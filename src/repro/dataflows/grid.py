@@ -74,6 +74,9 @@ def meshgrid_ravel(*value_lists):
     The lists are combined exactly like the scalar dataflows' nested
     ``for`` loops (first list outermost, last list innermost), so flat index
     ``i`` corresponds to the ``i``-th candidate yielded by ``tiling_space``.
+    The DSE config enumerator (:mod:`repro.dse.space`) leans on the same
+    alignment guarantee to keep its vectorized candidate list bit-identical
+    to its scalar nested loops.
     """
     np = require_numpy()
     axes = [np.asarray(values, dtype=np.int64) for values in value_lists]

@@ -1,0 +1,145 @@
+"""Merge archived DSE sweep artifacts into whole-sweep Pareto frontiers.
+
+An orchestrated DSE sweep leaves one artifact per ``dse`` unit (a slice of
+the config space for one workload under one backend).  This module gathers
+those artifacts back out of any number of run/merged trees, groups them by
+sweep identity (workload, backend and every parameter *except* the slice),
+verifies slice completeness and takes the frontier of the deduplicated row
+union -- which, because frontier merging is associative and order-invariant
+(see :mod:`repro.dse.pareto`), reproduces the unsharded sweep's frontier
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from repro.dse.pareto import pareto_frontier
+from repro.orchestration.manifest import canonical_json
+from repro.orchestration.runner import UNITS_DIRNAME
+
+#: Format marker of the frontier report document (``--json`` output).
+FRONTIER_FORMAT = "repro-dse-frontier-v1"
+
+
+def _load_unit(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except ValueError as error:
+        raise ValueError(f"unit artifact {path} is not valid JSON ({error})") from None
+    if not isinstance(document, dict):
+        raise ValueError(f"unit artifact {path} is not a unit document")
+    return document
+
+
+def collect_dse_units(run_dirs: list, workload: str = None) -> list:
+    """All ``dse`` unit documents in the trees (deduplicated by unit id)."""
+    units = {}
+    for run_dir in run_dirs:
+        units_dir = os.path.join(run_dir, UNITS_DIRNAME)
+        if not os.path.isdir(units_dir):
+            raise ValueError(f"{units_dir} is missing; {run_dir!r} is not a run tree")
+        for path in sorted(glob.glob(os.path.join(units_dir, "*.json"))):
+            document = _load_unit(path)
+            if document.get("experiment") != "dse":
+                continue
+            if workload is not None and document.get("workload") != workload:
+                continue
+            unit_id = document.get("unit_id", os.path.basename(path))
+            units.setdefault(unit_id, document)
+    return [units[unit_id] for unit_id in sorted(units)]
+
+
+def merge_dse_artifacts(run_dirs: list, workload: str = None) -> dict:
+    """Group ``dse`` units by sweep and merge each group's slice frontiers.
+
+    Returns the frontier report document: one group per (workload, backend,
+    params-minus-slice) with the merged frontier, accumulated config counts
+    and a ``complete`` flag (every slice ``1..n`` of the sweep present).
+    """
+    units = collect_dse_units(run_dirs, workload=workload)
+    if not units:
+        scope = f" for workload {workload!r}" if workload else ""
+        raise ValueError(
+            f"no 'dse' unit artifacts found{scope} in: " + ", ".join(run_dirs)
+        )
+
+    groups = {}
+    for document in units:
+        params = dict(document.get("params", {}))
+        params.pop("slice", None)
+        key = canonical_json(
+            {
+                "workload": document.get("workload"),
+                "backend": document.get("backend"),
+                "params": params,
+            }
+        )
+        groups.setdefault(key, []).append(document)
+
+    report_groups = []
+    for key in sorted(groups):
+        documents = groups[key]
+        payloads = [document["payload"] for document in documents]
+        slices = sorted(tuple(payload["slice"]) for payload in payloads)
+        # Group the payloads by their slicing granularity n.  Complete when
+        # some slicing 1..n is fully present (an unsliced unit alone covers
+        # the sweep even next to partial finer slicings), and the config
+        # counts come from ONE slicing -- summing across overlapping
+        # slicings would count the same configs twice.
+        by_count = {}
+        for payload in payloads:
+            index, count = payload["slice"]
+            by_count.setdefault(count, {})[index] = payload
+        complete_counts = [
+            count
+            for count, indexed in by_count.items()
+            if set(indexed) == set(range(1, count + 1))
+        ]
+        complete = bool(complete_counts)
+        if complete:
+            counting = min(complete_counts)
+        else:
+            # Best partial view: the slicing covering the most slices
+            # (coarser granularity breaking ties).
+            counting = max(by_count, key=lambda count: (len(by_count[count]), -count))
+        counted_payloads = list(by_count[counting].values())
+        objectives = payloads[0]["objectives"]
+        # The same config can reach this point through overlapping slicings
+        # (e.g. an unsliced run merged with a 2-slice run); identical rows
+        # deduplicate, a config whose rows disagree means the trees hold
+        # different sweeps and cannot be merged.
+        rows = {}
+        for payload in payloads:
+            for row in payload["frontier"]:
+                text = canonical_json(row)
+                previous = rows.setdefault(row["config"], text)
+                if previous != text:
+                    raise ValueError(
+                        f"config {row['config']!r} differs between artifacts; "
+                        "the trees hold incompatible sweeps"
+                    )
+        report_groups.append(
+            {
+                "workload": documents[0].get("workload"),
+                "backend": documents[0].get("backend"),
+                "budget_kib": payloads[0]["budget_kib"],
+                "objectives": list(objectives),
+                "slices": [list(entry) for entry in slices],
+                "complete": complete,
+                "config_count_total": payloads[0]["config_count_total"],
+                "config_count": sum(
+                    payload["config_count"] for payload in counted_payloads
+                ),
+                "infeasible_count": sum(
+                    payload["infeasible_count"] for payload in counted_payloads
+                ),
+                "frontier": pareto_frontier(
+                    [json.loads(text) for text in rows.values()], tuple(objectives)
+                ),
+            }
+        )
+    return {"format": FRONTIER_FORMAT, "groups": report_groups}

@@ -1,0 +1,285 @@
+"""The DSE sweep driver: enumerate, co-search, score, take the frontier.
+
+One sweep, given an SRAM budget and a workload:
+
+1. enumerate candidate configs under the budget (:mod:`repro.dse.space`);
+2. group them into **families** by memory split ``(Psum, IGBuf, WGBuf)`` --
+   configs of a family share their whole tiling search, and the engine's
+   ``search_many`` answers all capacity points of a family's dataflow with
+   one vectorized grid evaluation on the NumPy backend;
+3. co-search the best dataflow + tiling per (family, layer): the paper's
+   dataflow constrained to the family's exact split, against every Fig. 12
+   baseline at the family's total capacity (the baselines model loop orders
+   without a split notion, so their traffic is a per-capacity bound shared
+   across families of equal totals);
+4. score every config with the first-order objective model
+   (:mod:`repro.dse.objectives`) and keep the Pareto frontier
+   (:mod:`repro.dse.pareto`).
+
+Sweeps shard over the *config space*: ``slice_spec=(k, n)`` processes the
+``k``-th contiguous slice of the canonical enumeration, and the slice
+frontiers merge associatively to the unsharded frontier
+(:func:`repro.dse.pareto.merge_frontiers`).  The ``dse`` experiment
+registered here exposes exactly that through the run orchestrator; the
+``frontier`` CLI subcommand performs the merge over archived artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.layer import kib_to_words, total_macs
+from repro.dataflows.registry import BASELINE_DATAFLOWS
+from repro.dataflows.ours import OptimalDataflow
+from repro.dse.objectives import config_objectives
+from repro.dse.pareto import pareto_frontier, validate_objectives
+from repro.dse.space import CandidateSpace, enumerate_configs
+from repro.engine import get_default_engine, validate_shard
+from repro.orchestration.experiments import Experiment, register_experiment
+from repro.workloads.registry import resolve_layers
+
+#: Default sweep budget in KiB of effective on-chip memory: a little above
+#: Implementation 5 (131.625 KiB), so every Table I design point is inside
+#: the default design space.
+DEFAULT_BUDGET_KIB = 140.0
+
+#: Artifact format marker of one sweep payload.
+DSE_FORMAT = "repro-dse-v1"
+
+
+def slice_configs(configs: list, slice_spec) -> list:
+    """Contiguous slice ``k/n`` of the canonical enumeration order.
+
+    The same partition rule as manifest sharding: slices are disjoint and
+    their union over ``k`` is the full list for every ``n``, which is what
+    makes the sharded frontier merge equal the unsharded frontier.
+    """
+    index, count = validate_shard(*slice_spec)
+    start = (index - 1) * len(configs) // count
+    end = index * len(configs) // count
+    return configs[start:end]
+
+
+def co_search_families(engine, layers, families: list) -> dict:
+    """Best (dataflow, traffic) per layer for each family.
+
+    ``families`` is a list of ``(psum_words, igbuf_words, wgbuf_words)``
+    triples.  Returns ``{family: [(dataflow_name, TrafficBreakdown), ...]}``
+    with one entry per layer, or ``None`` for families where some layer fits
+    no dataflow at all.  Ties break deterministically: the constrained
+    paper dataflow first, then the Fig. 12 registry order.
+    """
+    families = sorted(set(families))
+    capacities = sorted({sum(family) for family in families})
+    baseline_results = {
+        (baseline.name, layer_index): engine.search_many(layer, capacities, baseline)
+        for baseline in BASELINE_DATAFLOWS
+        for layer_index, layer in enumerate(layers)
+    }
+    capacity_index = {capacity: index for index, capacity in enumerate(capacities)}
+
+    per_family = {}
+    for family in families:
+        psum_words, igbuf_words, wgbuf_words = family
+        total = sum(family)
+        constrained = OptimalDataflow(
+            psum_words=psum_words,
+            input_buffer_words=igbuf_words,
+            weight_buffer_words=wgbuf_words,
+        )
+        rows = []
+        for layer_index, layer in enumerate(layers):
+            candidates = engine.search_many(layer, [total], constrained)
+            for baseline in BASELINE_DATAFLOWS:
+                result = baseline_results[(baseline.name, layer_index)][capacity_index[total]]
+                candidates.append(result)
+            feasible = [result for result in candidates if result is not None]
+            if not feasible:
+                rows = None
+                break
+            best = min(feasible, key=lambda result: result.traffic.total)
+            rows.append((best.dataflow, best.traffic))
+        per_family[family] = rows
+    return per_family
+
+
+def design_space_exploration(
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    layers=None,
+    engine=None,
+    objectives=None,
+    space: CandidateSpace = None,
+    slice_spec=(1, 1),
+    max_configs: int = None,
+) -> dict:
+    """Run one sweep (or one slice of it); returns the JSON-ready payload."""
+    layers = resolve_layers(layers, "vgg16")
+    if engine is None:
+        engine = get_default_engine()
+    objectives = validate_objectives(objectives or ("dram", "energy", "time"))
+    if space is None:
+        space = CandidateSpace()
+    if budget_kib <= 0:
+        raise ValueError(f"budget must be positive, got {budget_kib} KiB")
+    budget_words = kib_to_words(budget_kib)
+
+    configs = enumerate_configs(budget_words, space, backend=engine.backend)
+    if max_configs is not None:
+        if max_configs < 1:
+            raise ValueError(f"max_configs must be >= 1, got {max_configs}")
+        # Truncate *before* slicing so every slice of a capped sweep
+        # partitions the same config set.
+        configs = configs[:max_configs]
+    total_configs = len(configs)
+    sliced = slice_configs(configs, slice_spec)
+
+    families = [
+        (config.psum_words, config.igbuf_words, config.wgbuf_words)
+        for config in sliced
+    ]
+    per_family = co_search_families(engine, layers, families)
+
+    rows = []
+    infeasible = 0
+    for config in sliced:
+        family = (config.psum_words, config.igbuf_words, config.wgbuf_words)
+        searched = per_family[family]
+        if searched is None:
+            infeasible += 1
+            continue
+        dataflow_wins = {}
+        for dataflow_name, _ in searched:
+            dataflow_wins[dataflow_name] = dataflow_wins.get(dataflow_name, 0) + 1
+        rows.append(
+            {
+                "config": config.name,
+                "pe_rows": config.pe_rows,
+                "pe_cols": config.pe_cols,
+                "num_pes": config.num_pes,
+                "lreg_words_per_pe": config.lreg_words_per_pe,
+                "igbuf_words": config.igbuf_words,
+                "wgbuf_words": config.wgbuf_words,
+                "psum_words": config.psum_words,
+                "effective_kib": config.effective_on_chip_kib,
+                "dataflows": dict(sorted(dataflow_wins.items())),
+                "objectives": config_objectives(
+                    config, layers, [traffic for _, traffic in searched]
+                ),
+            }
+        )
+
+    return {
+        "format": DSE_FORMAT,
+        "budget_kib": float(budget_kib),
+        "budget_words": budget_words,
+        "objectives": list(objectives),
+        "slice": list(validate_shard(*slice_spec)),
+        "space": space.as_dict(),
+        "max_configs": max_configs,
+        "layer_count": len(layers),
+        "gmacs": total_macs(layers) / 1e9,
+        "config_count_total": total_configs,
+        "config_count": len(rows),
+        "infeasible_count": infeasible,
+        "configs": rows,
+        "frontier": pareto_frontier(rows, objectives),
+    }
+
+
+# ------------------------------------------------------------------- goldens
+
+#: Pinned parameters of the DSE golden sweep (``tests/goldens/dse_vgg16.json``).
+#: A trimmed space keeps the pinned sweep fast while still spanning PE count,
+#: LReg depth and both Table I buffer sizes; regenerate after an intentional
+#: model change with::
+#:
+#:     PYTHONPATH=src python -c "from repro.dse.explore import write_dse_golden; write_dse_golden()"
+DSE_GOLDEN_PARAMS = {
+    "budget_kib": 140.0,
+    "objectives": ["dram", "energy", "time"],
+    "slice": [1, 1],
+    "max_configs": None,
+    "space": {
+        "pe_dims": [16, 32, 64],
+        "lreg_words": [32, 64, 128],
+        "igbuf_words": [1024, 1536],
+        "wgbuf_words": [256, 320],
+    },
+}
+
+DSE_GOLDEN_WORKLOAD = "vgg16"
+
+
+def compute_dse_golden(engine=None) -> dict:
+    """The golden sweep payload under the pinned parameters."""
+    params = DSE_GOLDEN_PARAMS
+    return design_space_exploration(
+        budget_kib=params["budget_kib"],
+        layers=DSE_GOLDEN_WORKLOAD,
+        engine=engine,
+        objectives=tuple(params["objectives"]),
+        space=CandidateSpace.from_dict(params["space"]),
+        slice_spec=tuple(params["slice"]),
+        max_configs=params["max_configs"],
+    )
+
+
+def dse_golden_path(directory: str = None) -> str:
+    from repro.analysis.goldens import default_goldens_dir
+
+    return os.path.join(directory or default_goldens_dir(), f"dse_{DSE_GOLDEN_WORKLOAD}.json")
+
+
+def write_dse_golden(path: str = None, engine=None) -> str:
+    """Re-pin the DSE golden file; returns the path written."""
+    from repro.analysis.goldens import sanitize_payload
+
+    path = path or dse_golden_path()
+    payload = sanitize_payload(compute_dse_golden(engine=engine))
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
+# ------------------------------------------------------- experiment registry
+
+
+def _build_dse(ctx):
+    params = ctx.params
+    space = params.get("space")
+    return design_space_exploration(
+        budget_kib=params["budget_kib"],
+        layers=ctx.layers,
+        engine=ctx.engine,
+        objectives=tuple(params["objectives"]),
+        space=CandidateSpace.from_dict(space) if space else None,
+        slice_spec=tuple(params["slice"]),
+        max_configs=params.get("max_configs"),
+    )
+
+
+def _render_dse(payload, params):
+    from repro.analysis.report import format_dse_frontier
+
+    return format_dse_frontier(payload)
+
+
+register_experiment(
+    Experiment(
+        name="dse",
+        title="DSE: Pareto co-search of accelerator configs",
+        build=_build_dse,
+        render=_render_dse,
+        uses_search=True,
+        default_params={
+            "budget_kib": DEFAULT_BUDGET_KIB,
+            "objectives": ["dram", "energy", "time"],
+            "slice": [1, 1],
+            "max_configs": None,
+            "space": None,
+        },
+    )
+)

@@ -1,0 +1,112 @@
+"""First-order objective model: traffic -> (DRAM, energy, time) per config.
+
+The tile-exact :class:`~repro.arch.accelerator.AcceleratorModel` walks every
+block of every layer and is the reference for the paper's five
+implementations; at design-space scale (hundreds of configs per sweep) the
+DSE instead scores each candidate from the *searched* per-layer DRAM traffic
+with a first-order access-count model:
+
+* every DRAM-fetched input/weight word is written to its GBuf once, read out
+  once, and lands in a GReg once (replication across PE groups is a
+  second-order effect and is ignored);
+* every MAC updates an LReg once; every output word leaving the array is
+  read from an LReg once, and every re-fetched partial sum (``output_reads``)
+  costs one extra LReg write;
+* compute time is MAC-bound (``ceil(macs / num_pes)`` cycles per layer) and
+  DRAM transfers overlap compute behind double buffering, so a layer's
+  cycles are ``max(compute, transfer)``.
+
+The counts feed the *same* Table II energy model every figure uses
+(:meth:`repro.energy.model.EnergyModel.energy_from_counts` -- the exact
+arithmetic of ``layer_energy``) and the same Fig. 19 performance model
+(:func:`repro.arch.performance.performance_report`), so DSE objectives and
+the paper figures share one set of constants.  ``tests/test_dse.py``
+cross-checks the estimate against the tile-exact model on the Table I
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.arch.performance import performance_report
+from repro.core.layer import ceil_div
+from repro.core.traffic import BYTES_PER_WORD
+from repro.energy.dram import DramModel
+from repro.energy.model import EnergyModel
+
+
+@dataclass(frozen=True)
+class CycleEstimate:
+    """Just enough of a network-run result to drive ``performance_report``."""
+
+    compute_cycles: float
+    waiting_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.waiting_cycles
+
+
+def estimate_cycles(config: AcceleratorConfig, layers, per_layer_traffic, dram: DramModel) -> CycleEstimate:
+    """MAC-bound compute overlapped with DRAM streaming, per layer."""
+    bytes_per_cycle = dram.peak_bandwidth_bytes_per_s / config.clock_hz
+    compute_total = 0
+    waiting_total = 0.0
+    for layer, traffic in zip(layers, per_layer_traffic):
+        compute = ceil_div(layer.macs, config.num_pes)
+        transfer = traffic.total * BYTES_PER_WORD / bytes_per_cycle
+        compute_total += compute
+        waiting_total += max(0.0, transfer - compute)
+    return CycleEstimate(compute_cycles=compute_total, waiting_cycles=waiting_total)
+
+
+def estimate_counts(layers, per_layer_traffic) -> dict:
+    """First-order access counts (see the module docstring for the model)."""
+    input_reads = sum(traffic.input_reads for traffic in per_layer_traffic)
+    weight_reads = sum(traffic.weight_reads for traffic in per_layer_traffic)
+    output_reads = sum(traffic.output_reads for traffic in per_layer_traffic)
+    output_writes = sum(traffic.output_writes for traffic in per_layer_traffic)
+    macs = sum(layer.macs for layer in layers)
+    return {
+        "dram_words": sum(traffic.total for traffic in per_layer_traffic),
+        "igbuf_reads": input_reads,
+        "igbuf_writes": input_reads,
+        "wgbuf_reads": weight_reads,
+        "wgbuf_writes": weight_reads,
+        "greg_writes": input_reads + weight_reads,
+        "macs": macs,
+        "lreg_writes": macs + output_reads,
+        "lreg_reads": output_writes + output_reads,
+    }
+
+
+def config_objectives(
+    config: AcceleratorConfig,
+    layers,
+    per_layer_traffic,
+    energy_model: EnergyModel = None,
+) -> dict:
+    """The DSE objective vector of one config on one workload.
+
+    ``per_layer_traffic`` is the co-searched best
+    :class:`~repro.core.traffic.TrafficBreakdown` per layer.  Returns the
+    three minimised objectives plus the derived quantities a frontier reader
+    wants alongside them.
+    """
+    if energy_model is None:
+        energy_model = EnergyModel()
+    counts = estimate_counts(layers, per_layer_traffic)
+    cycles = estimate_cycles(config, layers, per_layer_traffic, energy_model.dram)
+    breakdown = energy_model.energy_from_counts(
+        config, total_cycles=cycles.total_cycles, **counts
+    )
+    report = performance_report(cycles, config, breakdown)
+    return {
+        "dram": counts["dram_words"] * BYTES_PER_WORD / (1024.0 ** 3),
+        "energy": breakdown.pj_per_mac,
+        "time": report.total_seconds * 1e3,
+        "power_watts": report.power_watts,
+        "waiting_fraction": report.waiting_fraction,
+    }

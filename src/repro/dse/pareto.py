@@ -1,0 +1,103 @@
+"""Order-invariant Pareto frontiers with an associative cross-shard merge.
+
+Frontier rows are the plain dictionaries the DSE sweep emits: each carries a
+unique ``"config"`` name and an ``"objectives"`` mapping.  All objectives
+are minimised.
+
+Two properties the orchestrated (sharded) sweeps rely on, both exercised by
+the hypothesis suite in ``tests/test_dse_properties.py``:
+
+* **order invariance** -- the frontier is a canonically sorted set, so
+  feeding the rows in any order produces the byte-identical frontier;
+* **associative merge** -- ``pareto_frontier`` is idempotent and merging is
+  just the frontier of the union, so any grouping of shard frontiers merges
+  to the frontier of the unsharded sweep: a row dominated in the union is
+  dominated by some non-dominated row (dominance is transitive), which every
+  shard merge preserves.
+
+Ties are kept: two rows with identical objective vectors do not dominate
+each other, so both stay on the frontier (deterministically ordered by
+config name).
+"""
+
+from __future__ import annotations
+
+#: Objective names accepted by the DSE sweep, in canonical order.
+OBJECTIVE_KEYS = ("dram", "energy", "time")
+
+
+def validate_objectives(objectives) -> tuple:
+    """Normalise an objective selection to a canonical, validated tuple."""
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    unknown = [key for key in objectives if key not in OBJECTIVE_KEYS]
+    if unknown:
+        choices = ", ".join(OBJECTIVE_KEYS)
+        raise ValueError(f"unknown objectives {unknown}; choose from: {choices}")
+    if len(set(objectives)) != len(objectives):
+        raise ValueError(f"duplicate objectives in {list(objectives)}")
+    # Canonical order makes the frontier independent of how the caller
+    # spelled the selection.
+    return tuple(key for key in OBJECTIVE_KEYS if key in objectives)
+
+
+def objective_vector(row: dict, objectives) -> tuple:
+    """The row's objective values in the requested order."""
+    return tuple(row["objectives"][key] for key in objectives)
+
+
+def dominates(left: dict, right: dict, objectives) -> bool:
+    """Strict Pareto dominance: <= everywhere and < somewhere (minimising)."""
+    left_vector = objective_vector(left, objectives)
+    right_vector = objective_vector(right, objectives)
+    return all(a <= b for a, b in zip(left_vector, right_vector)) and any(
+        a < b for a, b in zip(left_vector, right_vector)
+    )
+
+
+def frontier_sort_key(row: dict, objectives):
+    """Canonical frontier order: objective vector, then config name."""
+    return (objective_vector(row, objectives), row["config"])
+
+
+def pareto_frontier(rows, objectives=OBJECTIVE_KEYS) -> list:
+    """Non-dominated rows in canonical order (input order irrelevant).
+
+    A pre-sort by the canonical key lets the scan only test candidates
+    against already-accepted rows: in sorted order a row can only be
+    dominated by a predecessor (a later row is >= in the first objective
+    where they differ, and equal vectors never dominate).
+    """
+    objectives = validate_objectives(objectives)
+    ordered = sorted(rows, key=lambda row: frontier_sort_key(row, objectives))
+    frontier = []
+    for row in ordered:
+        if any(dominates(kept, row, objectives) for kept in frontier):
+            continue
+        frontier.append(row)
+    return frontier
+
+
+def merge_frontiers(frontiers, objectives=OBJECTIVE_KEYS) -> list:
+    """Frontier of the union of shard frontiers (associative, order-free)."""
+    return pareto_frontier(
+        [row for frontier in frontiers for row in frontier], objectives
+    )
+
+
+def contains_or_dominates(frontier, row: dict, objectives=OBJECTIVE_KEYS) -> bool:
+    """Whether the frontier holds ``row`` itself or a point dominating it.
+
+    True for *every* evaluated candidate by construction; exposed so tests
+    can assert it for specific anchors (the Table I implementations).
+    """
+    objectives = validate_objectives(objectives)
+    vector = objective_vector(row, objectives)
+    for kept in frontier:
+        if kept["config"] == row["config"]:
+            return True
+        kept_vector = objective_vector(kept, objectives)
+        if all(a <= b for a, b in zip(kept_vector, vector)):
+            return True
+    return False

@@ -146,22 +146,58 @@ class EnergyModel:
 
     def layer_energy(self, result, config: AcceleratorConfig) -> EnergyBreakdown:
         """Energy of one :class:`~repro.arch.accelerator.LayerRunResult`."""
+        return self.energy_from_counts(
+            config,
+            dram_words=result.dram.total,
+            igbuf_reads=result.igbuf_reads,
+            igbuf_writes=result.igbuf_writes,
+            wgbuf_reads=result.wgbuf_reads,
+            wgbuf_writes=result.wgbuf_writes,
+            macs=result.macs,
+            lreg_reads=result.lreg_reads,
+            lreg_writes=result.lreg_writes,
+            greg_writes=result.greg_writes,
+            total_cycles=result.total_cycles,
+        )
+
+    def energy_from_counts(
+        self,
+        config: AcceleratorConfig,
+        *,
+        dram_words,
+        igbuf_reads,
+        igbuf_writes,
+        wgbuf_reads,
+        wgbuf_writes,
+        macs,
+        lreg_reads,
+        lreg_writes,
+        greg_writes,
+        total_cycles,
+    ) -> EnergyBreakdown:
+        """Translate raw access counts into an :class:`EnergyBreakdown`.
+
+        The arithmetic behind :meth:`layer_energy`, exposed so estimators
+        that produce access counts without a full accelerator run (the DSE
+        subsystem's first-order model) price them with the exact same
+        Table II constants and interpolations.
+        """
         igbuf_energy = sram_access_energy_pj(config.igbuf_words * BYTES_PER_WORD)
         wgbuf_energy = sram_access_energy_pj(config.wgbuf_words * BYTES_PER_WORD)
         lreg_energy = lreg_access_energy_pj(config.lreg_bytes_per_pe)
 
-        dram_pj = self.dram.access_energy_pj(result.dram.total)
+        dram_pj = self.dram.access_energy_pj(dram_words)
         gbuf_pj = (
-            (result.igbuf_reads + result.igbuf_writes) * igbuf_energy
-            + (result.wgbuf_reads + result.wgbuf_writes) * wgbuf_energy
+            (igbuf_reads + igbuf_writes) * igbuf_energy
+            + (wgbuf_reads + wgbuf_writes) * wgbuf_energy
         )
-        mac_pj = result.macs * OPERATION_ENERGY["mac"]
-        lreg_dynamic_pj = (result.lreg_writes + result.lreg_reads) * lreg_energy
+        mac_pj = macs * OPERATION_ENERGY["mac"]
+        lreg_dynamic_pj = (lreg_writes + lreg_reads) * lreg_energy
         lreg_bytes_total = config.num_pes * config.lreg_bytes_per_pe
         lreg_static_pj = (
-            lreg_bytes_total * LREG_STATIC_PJ_PER_BYTE_PER_CYCLE * result.total_cycles
+            lreg_bytes_total * LREG_STATIC_PJ_PER_BYTE_PER_CYCLE * total_cycles
         )
-        greg_pj = result.greg_writes * GREG_ACCESS_PJ
+        greg_pj = greg_writes * GREG_ACCESS_PJ
         dynamic_on_chip = gbuf_pj + mac_pj + lreg_dynamic_pj + greg_pj
         other_pj = OTHER_ENERGY_FRACTION * dynamic_on_chip
         return EnergyBreakdown(
@@ -172,7 +208,7 @@ class EnergyModel:
             lreg_static=lreg_static_pj,
             greg=greg_pj,
             other=other_pj,
-            macs=result.macs,
+            macs=macs,
         )
 
     def network_energy(self, network_result, config: AcceleratorConfig) -> EnergyBreakdown:

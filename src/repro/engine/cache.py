@@ -217,12 +217,25 @@ class SearchCache:
     are either a :class:`~repro.dataflows.base.DataflowResult` or
     :data:`INFEASIBLE`.  Statistics live on the engine, which also decides
     what counts as a hit.
+
+    ``max_entries`` bounds the store with least-recently-used eviction:
+    a hit refreshes the entry's recency, a store beyond the limit evicts
+    the stalest entries and counts them in :attr:`evictions`.  Unbounded by
+    default -- the limit exists for long-lived persistent caches (the run
+    orchestrator's shard caches accrete entries across resumes and would
+    otherwise grow without bound).
     """
 
     path: str = None
+    max_entries: int = None
     _entries: dict = field(default_factory=dict, repr=False)
 
+    #: Entries dropped by the LRU limit over this cache's lifetime.
+    evictions: int = 0
+
     def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (or None), got {self.max_entries}")
         if self.path and os.path.exists(self.path):
             # A stale, corrupt or version-mismatched cache file must never
             # take the tool down: degrade to a cold cache and let the next
@@ -235,10 +248,26 @@ class SearchCache:
 
     def get(self, key: tuple):
         """Entry for ``key`` or ``None`` when absent (``INFEASIBLE`` is an entry)."""
-        return self._entries.get(key)
+        entry = self._entries.get(key)
+        if entry is not None and self.max_entries is not None:
+            # Refresh recency: dicts iterate in insertion order, so
+            # re-inserting makes this the youngest entry.
+            del self._entries[key]
+            self._entries[key] = entry
+        return entry
 
     def store(self, key: tuple, entry) -> None:
+        if self.max_entries is not None and key in self._entries:
+            del self._entries[key]
         self._entries[key] = entry
+        self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            del self._entries[next(iter(self._entries))]
+            self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -288,6 +317,10 @@ class SearchCache:
                     f"key {key!r}; ignoring the file"
                 )
         self._entries.update(entries)
+        # A bounded cache must honour its limit even when the file holds
+        # more: the freshly loaded entries are the youngest, so the
+        # pre-existing (stalest) ones are evicted first.
+        self._evict_overflow()
         return len(entries)
 
     def save(self, path: str = None) -> int:

@@ -115,6 +115,10 @@ class SearchEngine:
     cache_path:
         Optional pickle file for the cache.  Existing entries are loaded at
         construction; call :meth:`save` to persist new ones.
+    cache_max_entries:
+        Optional LRU bound on the cache (see
+        :class:`~repro.engine.cache.SearchCache`); ``None`` (the default)
+        keeps the cache unbounded.
     backend:
         ``"auto"`` (default), ``"numpy"`` or ``"python"``.  Selects how
         missed searches execute; results are bit-identical either way, so
@@ -127,10 +131,13 @@ class SearchEngine:
         cache: bool = True,
         cache_path: str = None,
         backend: str = "auto",
+        cache_max_entries: int = None,
     ):
         self.workers = resolve_workers(workers)
         self.backend = resolve_backend(backend)
-        self.cache = SearchCache(path=cache_path) if cache else None
+        self.cache = (
+            SearchCache(path=cache_path, max_entries=cache_max_entries) if cache else None
+        )
         self.stats = CacheStats()
 
     # ----------------------------------------------------------- single tasks
@@ -176,12 +183,17 @@ class SearchEngine:
         tasks = list(tasks)
         keys = [task_key(dataflow, layer, capacity) for dataflow, layer, capacity in tasks]
         pending = {}
+        # Hits are resolved immediately: under an LRU-bounded cache, storing
+        # this batch's fresh entries could evict an entry that was counted
+        # as a hit before it is read back.
+        resolved = {}
         for key, task in zip(keys, tasks):
-            if self.cache is not None and key in self.cache:
-                self.stats.hits += 1
-            elif key in pending:
+            if key in resolved or key in pending:
                 # Deduplicated against an identical task in this batch.
                 self.stats.hits += 1
+            elif self.cache is not None and key in self.cache:
+                self.stats.hits += 1
+                resolved[key] = self.cache.get(key)
             else:
                 pending[key] = task
                 self.stats.misses += 1
@@ -193,9 +205,7 @@ class SearchEngine:
 
         results = []
         for key, (dataflow, layer, capacity) in zip(keys, tasks):
-            entry = self.cache.get(key) if self.cache is not None else None
-            if entry is None:
-                entry = fresh[key]
+            entry = fresh[key] if key in fresh else resolved[key]
             if entry == INFEASIBLE:
                 results.append(None)
             else:

@@ -1,4 +1,4 @@
-"""CLI for orchestrated reproductions: run / resume / merge / reproduce-all.
+"""CLI for orchestrated reproductions: run / resume / merge / frontier.
 
 These subcommands are dispatched from the main ``repro-experiments`` entry
 point (:mod:`repro.cli`)::
@@ -9,13 +9,16 @@ point (:mod:`repro.cli`)::
     repro-experiments resume --out-dir out/full          # zero recomputation
     repro-experiments merge out/shard-* --out-dir out/merged \\
         --diff-goldens tests/goldens --summary-file "$GITHUB_STEP_SUMMARY"
+    repro-experiments frontier out/merged                # merged DSE frontier
 
 ``run``/``reproduce-all`` execute one shard of the manifest expanded from
 the given spec; ``resume`` re-executes the shard recorded in the out-dir's
 ``run.json``, skipping every completed unit; ``merge`` unions shard trees,
 verifies bit-identity and completeness, optionally diffs the golden units
 against the pinned regression files, and can append a markdown summary for
-CI job pages.
+CI job pages; ``frontier`` merges the ``dse`` units' Pareto frontiers into
+whole-sweep frontiers (``--dse-slices N`` on ``run`` splits a sweep's
+config space into N independently schedulable units).
 """
 
 from __future__ import annotations
@@ -93,6 +96,28 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="fig14 on-chip capacity override (KB)",
+    )
+    spec_parent.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="KIB",
+        help="dse on-chip memory budget override (KiB)",
+    )
+    spec_parent.add_argument(
+        "--objectives",
+        nargs="+",
+        choices=["dram", "energy", "time"],
+        default=None,
+        help="dse Pareto objectives override (default: all three)",
+    )
+    spec_parent.add_argument(
+        "--dse-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the dse config space into N units (one slice each); "
+        "their frontiers merge associatively via 'frontier'",
     )
     spec_parent.add_argument(
         "--shard",
@@ -176,6 +201,20 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         help="append a markdown summary (e.g. \"$GITHUB_STEP_SUMMARY\")",
     )
     merge.add_argument("--json", action="store_true")
+
+    frontier = commands.add_parser(
+        "frontier",
+        help="merge the 'dse' unit artifacts of run/merged trees into "
+        "whole-sweep Pareto frontiers (associative across slices)",
+    )
+    frontier.add_argument("run_dirs", nargs="+", help="run or merged artifact trees")
+    frontier.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME[:batch]",
+        help="restrict to one workload spec (default: every workload found)",
+    )
+    frontier.add_argument("--json", action="store_true")
     return parser
 
 
@@ -192,11 +231,6 @@ def _build_spec(args) -> ManifestSpec:
     resolve_workers(args.workers)
     for backend in args.backends:
         resolve_backend(backend)
-    params = {}
-    if args.capacities is not None:
-        params["fig13"] = {"capacities_kib": list(args.capacities)}
-    if args.capacity is not None:
-        params["fig14"] = {"capacity_kib": args.capacity}
     # Accept the flat CLI's fig15/table3 aliases here too (dedup keeps the
     # pair a single unit when both are named).
     experiments = []
@@ -204,6 +238,35 @@ def _build_spec(args) -> ManifestSpec:
         resolved = resolve_experiment_name(name)
         if resolved not in experiments:
             experiments.append(resolved)
+    params = {}
+    if args.capacities is not None:
+        params["fig13"] = {"capacities_kib": list(args.capacities)}
+    if args.capacity is not None:
+        params["fig14"] = {"capacity_kib": args.capacity}
+    dse_overrides = {}
+    if args.budget is not None:
+        dse_overrides["budget_kib"] = args.budget
+    if args.objectives:
+        dse_overrides["objectives"] = list(args.objectives)
+    if (dse_overrides or args.dse_slices is not None) and "dse" not in experiments:
+        # Silently dropping the options would run a "sweep" with no dse
+        # units in it; fail fast instead.
+        raise ValueError(
+            "--budget/--objectives/--dse-slices configure the 'dse' "
+            "experiment, which is not in this run's --experiments list; "
+            "add 'dse' to --experiments"
+        )
+    if args.dse_slices is not None:
+        if args.dse_slices < 1:
+            raise ValueError(f"--dse-slices must be >= 1, got {args.dse_slices}")
+        # One unit per slice of the config space; every slice carries the
+        # same overrides so the manifest stays a pure spec expansion.
+        params["dse"] = [
+            dict(dse_overrides, slice=[index, args.dse_slices])
+            for index in range(1, args.dse_slices + 1)
+        ]
+    elif dse_overrides:
+        params["dse"] = dse_overrides
     return ManifestSpec(
         workloads=tuple(args.workloads),
         experiments=tuple(experiments),
@@ -282,11 +345,35 @@ def _cmd_merge(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_frontier(args) -> int:
+    from repro.analysis.report import format_dse_frontier
+    from repro.dse.artifacts import merge_dse_artifacts
+
+    report = merge_dse_artifacts(args.run_dirs, workload=args.workload)
+    complete = all(group["complete"] for group in report["groups"])
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        for group in report["groups"]:
+            slices = ", ".join(f"{index}/{count}" for index, count in group["slices"])
+            state = "complete" if group["complete"] else "INCOMPLETE"
+            print(
+                f"dse[{group['workload']}, backend {group['backend']}]: "
+                f"slices {slices} ({state})"
+            )
+            print(format_dse_frontier(dict(group, slice=(1, 1))))
+            print()
+    # Incomplete sweeps still print (a partial frontier is informative) but
+    # fail the command so CI never mistakes them for the real frontier.
+    return 0 if complete else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "reproduce-all": _cmd_run,
     "resume": _cmd_resume,
     "merge": _cmd_merge,
+    "frontier": _cmd_frontier,
 }
 
 

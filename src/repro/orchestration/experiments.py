@@ -86,6 +86,7 @@ def load_experiments() -> None:
     import repro.analysis.performance_report  # noqa: F401
     import repro.analysis.sweep  # noqa: F401
     import repro.analysis.utilization_report  # noqa: F401
+    import repro.dse.explore  # noqa: F401  (the hardware design-space sweep)
 
     _LOADED = True
 

@@ -102,7 +102,10 @@ class ManifestSpec:
 
     ``params`` maps experiment names to parameter overrides merged over each
     experiment's registered defaults (e.g. ``{"fig13": {"capacities_kib":
-    [16, 66.5]}}``).
+    [16, 66.5]}}``).  A value may also be a *list* of override dicts, which
+    expands that experiment into one unit per variant -- how a design-space
+    sweep shards its config space across units (``{"dse": [{"slice": [1, 2]},
+    {"slice": [2, 2]}]}``).
     """
 
     workloads: tuple = DEFAULT_WORKLOADS
@@ -152,24 +155,32 @@ class RunManifest:
         seen = set()
         for experiment_name in spec.experiments:
             experiment = get_experiment(experiment_name)
-            params = dict(experiment.default_params)
-            params.update(spec.params.get(experiment_name, {}))
-            # Round-trip through JSON so tuples/ints normalise exactly like a
-            # manifest reloaded from disk would.
-            params_json = canonical_json(json.loads(canonical_json(params)))
-            backends = spec.backends if experiment.uses_search else (NO_BACKEND,)
-            for workload in spec.workloads:
-                for backend in backends:
-                    unit = RunUnit(
-                        experiment=experiment_name,
-                        workload=workload,
-                        backend=backend,
-                        params_json=params_json,
-                    )
-                    if unit.unit_id in seen:
-                        continue
-                    seen.add(unit.unit_id)
-                    units.append(unit)
+            overrides = spec.params.get(experiment_name, {})
+            variants = overrides if isinstance(overrides, list) else [overrides]
+            if not variants:
+                raise ValueError(
+                    f"params for experiment {experiment_name!r} is an empty "
+                    "variant list; omit the key or provide at least one dict"
+                )
+            for variant in variants:
+                params = dict(experiment.default_params)
+                params.update(variant)
+                # Round-trip through JSON so tuples/ints normalise exactly
+                # like a manifest reloaded from disk would.
+                params_json = canonical_json(json.loads(canonical_json(params)))
+                backends = spec.backends if experiment.uses_search else (NO_BACKEND,)
+                for workload in spec.workloads:
+                    for backend in backends:
+                        unit = RunUnit(
+                            experiment=experiment_name,
+                            workload=workload,
+                            backend=backend,
+                            params_json=params_json,
+                        )
+                        if unit.unit_id in seen:
+                            continue
+                        seen.add(unit.unit_id)
+                        units.append(unit)
         return cls(spec, units)
 
     def __len__(self) -> int:

@@ -97,8 +97,13 @@ def merge_runs(shard_dirs: list, out_dir: str) -> MergeReport:
                 f"{path} differs from the first shard's manifest; the shards "
                 "were produced from different specs and cannot be merged"
             )
-    manifest_document = json.loads(manifest_bytes.decode())
-    if not isinstance(manifest_document.get("units"), list):
+    try:
+        manifest_document = json.loads(manifest_bytes.decode())
+    except ValueError as error:
+        raise ValueError(f"the shard manifests are not valid JSON ({error})") from None
+    if not isinstance(manifest_document, dict) or not isinstance(
+        manifest_document.get("units"), list
+    ):
         raise ValueError("the shard manifests hold no unit list; corrupt run trees")
     expected_ids = {unit["unit_id"] for unit in manifest_document["units"]}
 
@@ -151,17 +156,35 @@ def merge_runs(shard_dirs: list, out_dir: str) -> MergeReport:
 
 
 def _aggregate_shard_reports(shard_dirs: list) -> tuple:
-    """Collect every shard report and sum the per-backend engine stats."""
+    """Collect every shard report and sum the per-backend engine stats.
+
+    Shard reports are run metadata, not artifacts, so a corrupt one fails
+    the merge with a clean message naming the file rather than a traceback;
+    ``CacheStats.from_dict`` tolerates missing counter keys (older attempts
+    may predate a counter), so partial stats dicts still aggregate.
+    """
     shard_reports = []
     totals = {}
     for shard_dir in shard_dirs:
         for path in sorted(glob.glob(os.path.join(shard_dir, SHARDS_DIRNAME, "*.json"))):
-            with open(path) as handle:
-                document = json.load(handle)
+            try:
+                with open(path) as handle:
+                    document = json.load(handle)
+            except ValueError as error:
+                raise ValueError(f"shard report {path} is not valid JSON ({error})") from None
+            if not isinstance(document, dict):
+                raise ValueError(f"shard report {path} is not a report object")
             shard_reports.append(
                 {"path": path, "shard": document.get("shard"), "report": document}
             )
-            for backend, stats in document.get("engine_stats", {}).items():
+            engine_stats = document.get("engine_stats", {})
+            if not isinstance(engine_stats, dict):
+                raise ValueError(f"shard report {path} holds malformed engine stats")
+            for backend, stats in engine_stats.items():
+                if not isinstance(stats, dict):
+                    raise ValueError(
+                        f"shard report {path} holds malformed stats for backend {backend!r}"
+                    )
                 totals.setdefault(backend, CacheStats()).merge(
                     CacheStats.from_dict(stats)
                 )
@@ -211,10 +234,22 @@ def diff_merged_goldens(merged_dir: str, goldens_dir: str) -> dict:
         if not os.path.exists(pinned_path):
             problems.append(f"{prefix}no pinned golden file at {pinned_path}")
             continue
-        with open(artifact_path) as handle:
-            actual = json.load(handle)["payload"]
-        with open(pinned_path) as handle:
-            expected = json.load(handle)
+        # A corrupt artifact (or pinned file) is a diff problem for this
+        # workload, not a crash: the other workloads' verdicts still matter.
+        try:
+            with open(artifact_path) as handle:
+                actual = json.load(handle)["payload"]
+        except (ValueError, KeyError) as error:
+            problems.append(
+                f"{prefix}artifact {unit['unit_id']}.json is unreadable: {error!r}"
+            )
+            continue
+        try:
+            with open(pinned_path) as handle:
+                expected = json.load(handle)
+        except ValueError as error:
+            problems.append(f"{prefix}pinned file {pinned_path} is not valid JSON: {error}")
+            continue
         problems.extend(prefix + problem for problem in diff_goldens(expected, actual))
     return report
 

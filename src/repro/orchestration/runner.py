@@ -33,6 +33,12 @@ from repro.orchestration.experiments import ExperimentContext, get_experiment
 from repro.orchestration.manifest import NO_BACKEND, RunManifest
 from repro.workloads.registry import get_workload_spec
 
+#: LRU bound of each per-backend shard cache.  Shard caches persist across
+#: resumes (and are reloaded on every restart), so without a bound they
+#: accrete entries from every attempt forever; the limit comfortably covers
+#: any single unit's working set while capping the pickle's growth.
+SHARD_CACHE_MAX_ENTRIES = 100_000
+
 MANIFEST_FILENAME = "manifest.json"
 RUN_FILENAME = "run.json"
 UNITS_DIRNAME = "units"
@@ -160,7 +166,11 @@ class Runner:
             report.units_completed += 1
             self._write_status(unit.unit_id, "completed", started)
         report.engine_stats = {
-            backend: dict(engine.stats.as_dict(), cache_entries=len(engine.cache))
+            backend: dict(
+                engine.stats.as_dict(),
+                cache_entries=len(engine.cache),
+                cache_evictions=engine.cache.evictions,
+            )
             for backend, engine in engines.items()
         }
         self._write_shard_report(report)
@@ -206,7 +216,10 @@ class Runner:
                 self.out_dir, CACHE_DIRNAME, shard_cache_filename(backend, index, count)
             )
             engines[backend] = SearchEngine(
-                workers=self.workers, cache_path=cache_path, backend=backend
+                workers=self.workers,
+                cache_path=cache_path,
+                backend=backend,
+                cache_max_entries=SHARD_CACHE_MAX_ENTRIES,
             )
         return engines[backend]
 

@@ -545,3 +545,92 @@ class TestMemorySweepRegression:
                 direct = dataflow.search(layer, capacity_words)
                 via_engine = engine.search(dataflow, layer, capacity_words)
                 assert via_engine == direct
+
+
+class TestLruEviction:
+    """Bounded caches: LRU eviction with eviction-count statistics.
+
+    The run orchestrator's shard caches persist (and reload) across resumes
+    and would otherwise grow without bound; ``max_entries`` caps them.
+    """
+
+    def test_store_beyond_limit_evicts_the_oldest(self):
+        from repro.engine import SearchCache
+
+        cache = SearchCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        cache.store(("c",), 3)
+        assert len(cache) == 2
+        assert ("a",) not in cache
+        assert cache.get(("b",)) == 2 and cache.get(("c",)) == 3
+        assert cache.evictions == 1
+
+    def test_hits_refresh_recency(self):
+        from repro.engine import SearchCache
+
+        cache = SearchCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        assert cache.get(("a",)) == 1  # "a" is now the youngest entry
+        cache.store(("c",), 3)
+        assert ("b",) not in cache and ("a",) in cache
+
+    def test_restore_of_existing_key_refreshes_without_evicting(self):
+        from repro.engine import SearchCache
+
+        cache = SearchCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        cache.store(("a",), 10)  # refresh, not insert
+        assert len(cache) == 2 and cache.evictions == 0
+        cache.store(("c",), 3)
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 10
+
+    def test_invalid_limit_rejected(self):
+        from repro.engine import SearchCache
+
+        with pytest.raises(ValueError, match="max_entries"):
+            SearchCache(max_entries=0)
+
+    def test_load_respects_the_limit(self, tmp_path):
+        from repro.engine import SearchCache
+
+        path = str(tmp_path / "cache.pkl")
+        unbounded = SearchCache(path=path)
+        engine = SearchEngine(cache_path=path)
+        layer = ConvLayer("l", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1)
+        dataflow = get_dataflow("Ours")
+        for capacity in (4096, 8192, 16384):
+            engine.search(dataflow, layer, capacity)
+        assert engine.save() == 3
+        del unbounded
+        bounded = SearchCache(path=path, max_entries=2)
+        assert len(bounded) == 2
+        assert bounded.evictions == 1
+
+    def test_engine_results_are_bit_identical_under_tiny_limit(self, small_layers):
+        """A pathologically small cache changes cost, never results."""
+        dataflow = get_dataflow("Ours")
+        capacities = [4096, 8192, 16384, 8192, 4096]
+        reference = SearchEngine()
+        tiny = SearchEngine(cache_max_entries=1)
+        for layer in small_layers:
+            assert tiny.search_many(layer, capacities, dataflow) == reference.search_many(
+                layer, capacities, dataflow
+            )
+        assert tiny.cache.evictions > 0
+
+    def test_batch_hits_survive_same_batch_eviction(self, small_layers):
+        """An entry counted as a hit must be served even if the batch's own
+        fresh stores evict it before the results are assembled."""
+        dataflow = get_dataflow("Ours")
+        layer = small_layers[0]
+        engine = SearchEngine(cache_max_entries=1)
+        warm = engine.search(dataflow, layer, 4096)
+        # One batch: a cache hit (4096) plus enough misses to wipe a
+        # single-entry cache several times over.
+        results = engine.search_many(layer, [4096, 8192, 16384, 32768], dataflow)
+        assert results[0] == warm
+        assert engine.stats.hits >= 1

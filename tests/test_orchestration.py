@@ -572,3 +572,216 @@ class TestOrchestrationCli:
         assert "workers must be >= 1" in capsys.readouterr().err
         # Fast fail: no per-unit failure artifacts were written.
         assert not os.path.exists(os.path.join(out_dir, "status"))
+
+
+class TestManifestParamVariants:
+    """A params value may be a list of override dicts: one unit per variant."""
+
+    def test_variant_list_expands_to_one_unit_each(self):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("dse",),
+                params={"dse": [{"slice": [1, 2]}, {"slice": [2, 2]}]},
+            )
+        )
+        assert len(manifest) == 2
+        slices = [unit.params["slice"] for unit in manifest.units]
+        assert slices == [[1, 2], [2, 2]]
+
+    def test_single_dict_stays_one_unit(self):
+        listed = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig13",),
+                params={"fig13": [{"capacities_kib": [8]}]},
+            )
+        )
+        plain = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig13",),
+                params={"fig13": {"capacities_kib": [8]}},
+            )
+        )
+        assert [unit.unit_id for unit in listed.units] == [
+            unit.unit_id for unit in plain.units
+        ]
+
+    def test_identical_variants_deduplicate(self):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("dse",),
+                params={"dse": [{"slice": [1, 1]}, {"slice": [1, 1]}]},
+            )
+        )
+        assert len(manifest) == 1
+
+    def test_empty_variant_list_is_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RunManifest.from_spec(
+                ManifestSpec(
+                    workloads=("tiny",), experiments=("dse",), params={"dse": []}
+                )
+            )
+
+    def test_variant_manifest_round_trips_through_json(self):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("dse",),
+                params={"dse": [{"slice": [1, 2]}, {"slice": [2, 2]}]},
+            )
+        )
+        reloaded = RunManifest.from_json(manifest.to_json())
+        assert reloaded.to_json() == manifest.to_json()
+
+
+class TestMergeErrorPaths:
+    def _two_shard_run(self, tmp_path):
+        manifest = tiny_manifest()
+        shard_dirs = []
+        for index in (1, 2):
+            shard_dir = str(tmp_path / f"shard-{index}")
+            assert Runner(manifest, shard_dir).run(shard=(index, 2)).complete
+            shard_dirs.append(shard_dir)
+        return shard_dirs
+
+    def test_corrupt_manifest_json_is_a_clean_error(self, tmp_path):
+        shard_dirs = self._two_shard_run(tmp_path)
+        with open(os.path.join(shard_dirs[0], "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        with open(os.path.join(shard_dirs[1], "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            merge_runs(shard_dirs, str(tmp_path / "merged"))
+
+    def test_manifest_without_unit_list_is_a_clean_error(self, tmp_path):
+        shard_dirs = self._two_shard_run(tmp_path)
+        for shard_dir in shard_dirs:
+            with open(os.path.join(shard_dir, "manifest.json"), "w") as handle:
+                json.dump({"format": "repro-run-manifest-v1"}, handle)
+        with pytest.raises(ValueError, match="no unit list"):
+            merge_runs(shard_dirs, str(tmp_path / "merged"))
+
+    def test_corrupt_shard_report_is_a_clean_error(self, tmp_path):
+        shard_dirs = self._two_shard_run(tmp_path)
+        reports = sorted(
+            os.listdir(os.path.join(shard_dirs[0], "shards"))
+        )
+        with open(os.path.join(shard_dirs[0], "shards", reports[0]), "w") as handle:
+            handle.write("][")
+        with pytest.raises(ValueError, match="shard report .* is not valid JSON"):
+            merge_runs(shard_dirs, str(tmp_path / "merged"))
+
+    def test_malformed_engine_stats_are_a_clean_error(self, tmp_path):
+        shard_dirs = self._two_shard_run(tmp_path)
+        report_dir = os.path.join(shard_dirs[0], "shards")
+        report_path = os.path.join(report_dir, sorted(os.listdir(report_dir))[0])
+        with open(report_path) as handle:
+            document = json.load(handle)
+        document["engine_stats"] = {"auto": "not-a-dict"}
+        with open(report_path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="malformed stats for backend 'auto'"):
+            merge_runs(shard_dirs, str(tmp_path / "merged"))
+
+    def test_stats_merge_tolerates_missing_counter_keys(self, tmp_path):
+        """Older shard reports may lack newer counters; defaults fill in."""
+        shard_dirs = self._two_shard_run(tmp_path)
+        report_dir = os.path.join(shard_dirs[0], "shards")
+        report_path = os.path.join(report_dir, sorted(os.listdir(report_dir))[0])
+        with open(report_path) as handle:
+            document = json.load(handle)
+        document["engine_stats"] = {"python-old": {"hits": 7}}
+        with open(report_path, "w") as handle:
+            json.dump(document, handle)
+        report = merge_runs(shard_dirs, str(tmp_path / "merged"))
+        assert report.engine_stats["python-old"]["hits"] == 7
+        assert report.engine_stats["python-old"]["misses"] == 0
+        assert report.engine_stats["python-old"]["grid_evaluations"] == 0
+
+    def test_corrupt_goldens_artifact_is_a_diff_problem_not_a_crash(self, tmp_path):
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        assert Runner(manifest, out_dir).run().complete
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        unit = manifest.units[0]
+        with open(unit_artifact_path(merged_dir, unit.unit_id), "w") as handle:
+            handle.write("{broken")
+        diff = diff_merged_goldens(merged_dir, goldens_dir)
+        assert any("is unreadable" in problem for problem in diff["tiny"])
+
+    def test_artifact_without_payload_is_a_diff_problem(self, tmp_path):
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        assert Runner(manifest, out_dir).run().complete
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        unit = manifest.units[0]
+        with open(unit_artifact_path(merged_dir, unit.unit_id), "w") as handle:
+            json.dump({"unit_id": unit.unit_id}, handle)
+        diff = diff_merged_goldens(merged_dir, goldens_dir)
+        assert any("is unreadable" in problem for problem in diff["tiny"])
+
+    def test_corrupt_pinned_golden_is_a_diff_problem(self, tmp_path):
+        goldens_dir = str(tmp_path / "goldens")
+        write_goldens(goldens_dir, workloads=("tiny",))
+        out_dir = str(tmp_path / "run")
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("goldens",))
+        )
+        assert Runner(manifest, out_dir).run().complete
+        merged_dir = str(tmp_path / "merged")
+        merge_runs([out_dir], merged_dir)
+        with open(os.path.join(goldens_dir, "tiny.json"), "w") as handle:
+            handle.write("{broken")
+        diff = diff_merged_goldens(merged_dir, goldens_dir)
+        assert any("not valid JSON" in problem for problem in diff["tiny"])
+
+
+class TestShardCacheBounds:
+    def test_runner_engines_are_lru_bounded_and_report_evictions(self, tmp_path):
+        from repro.orchestration import runner as runner_module
+
+        manifest = RunManifest.from_spec(
+            ManifestSpec(
+                workloads=("tiny",),
+                experiments=("fig13",),
+                params={"fig13": {"capacities_kib": [8, 16, 24]}},
+            )
+        )
+        out_dir = str(tmp_path / "run")
+        original = runner_module.SHARD_CACHE_MAX_ENTRIES
+        runner_module.SHARD_CACHE_MAX_ENTRIES = 4
+        try:
+            report = Runner(manifest, out_dir).run()
+        finally:
+            runner_module.SHARD_CACHE_MAX_ENTRIES = original
+        assert report.complete
+        stats = report.engine_stats["auto"]
+        assert stats["cache_entries"] <= 4
+        assert stats["cache_evictions"] > 0
+        # The persisted shard cache honours the bound too.
+        from repro.engine import SearchCache
+
+        cache_path = os.path.join(out_dir, "cache", shard_cache_filename("auto", 1, 1))
+        assert os.path.exists(cache_path)
+        assert 0 < len(SearchCache(path=cache_path)) <= 4
+
+    def test_engine_stats_always_report_eviction_counts(self, tmp_path):
+        manifest = tiny_manifest()
+        out_dir = str(tmp_path / "run")
+        report = Runner(manifest, out_dir).run()
+        for stats in report.engine_stats.values():
+            assert stats["cache_evictions"] == 0
