@@ -40,6 +40,12 @@ archived slice frontiers of orchestrated sweeps::
     repro-experiments run --out-dir out/dse --experiments dse \\
         --budget 140 --dse-slices 4 --shard 1/2
     repro-experiments frontier out/merged --workload vgg16
+
+Searches can also be served from a long-lived daemon -- one resident engine
+with request coalescing, micro-batching and a shared SQLite-backed cache
+(see :mod:`repro.server`)::
+
+    repro-experiments serve --port 8765 --cache-file cache.sqlite
 """
 
 from __future__ import annotations
@@ -76,6 +82,9 @@ from repro.workloads.registry import (
 #: Subcommands handled by the orchestration CLI (sharded runs, merge,
 #: cross-artifact frontier merges).
 ORCHESTRATION_COMMANDS = ("run", "resume", "merge", "reproduce-all", "frontier")
+
+#: Subcommand handled by the server CLI (the long-lived search daemon).
+SERVE_COMMAND = "serve"
 
 def _experiment_choices() -> list:
     """Flat experiment choices, derived from the registry.
@@ -242,6 +251,12 @@ def main(argv: list = None) -> int:
         from repro.orchestration.cli import main as orchestration_main
 
         return orchestration_main(argv)
+    if argv and argv[0] == SERVE_COMMAND:
+        # The long-lived search daemon (request coalescing, micro-batching,
+        # shared persistent cache; see repro.server).
+        from repro.server.daemon import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         engine = build_engine(args)

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 from repro.engine.cache import (
     INFEASIBLE,
+    STORE_BACKENDS,
     CacheStats,
     SearchCache,
+    SqliteStore,
     dataflow_signature,
     layer_signature,
+    migrate_cache,
+    resolve_store,
     shard_cache_filename,
     task_key,
     validate_shard,
@@ -45,12 +49,16 @@ __all__ = [
     "BACKENDS",
     "CacheStats",
     "INFEASIBLE",
+    "STORE_BACKENDS",
     "SearchCache",
     "SearchEngine",
+    "SqliteStore",
     "dataflow_signature",
     "get_default_engine",
     "layer_signature",
+    "migrate_cache",
     "resolve_backend",
+    "resolve_store",
     "resolve_workers",
     "set_default_engine",
     "shard_cache_filename",

@@ -18,15 +18,28 @@ Infeasible searches (the dataflow has no tiling that fits) are cached too,
 as the :data:`INFEASIBLE` sentinel -- re-proving infeasibility is exactly as
 expensive as a successful search.
 
-The cache can optionally persist to disk as a single pickle file, so
-repeated CLI / benchmark invocations skip the cold search entirely.
+The cache can persist to disk through one of two interchangeable stores:
+
+* a single **pickle** file (the original backend) -- loaded wholesale at
+  construction, written atomically by :meth:`SearchCache.save`; and
+* a **SQLite** database (:class:`SqliteStore`) -- entries are written
+  through as they are stored, so the cache survives crashes without an
+  explicit save, and WAL journalling makes it safe for several processes
+  (orchestrator shards, the :mod:`repro.server` daemon) to read and write
+  the same file concurrently.
+
+Both stores serve byte-identical entries under the same
+:data:`SCHEMA_VERSION` and the same LRU-eviction semantics, and
+:func:`migrate_cache` copies a cache between them in either direction.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import sqlite3
 import tempfile
+import threading
 import warnings
 from dataclasses import dataclass, field
 
@@ -38,6 +51,20 @@ INFEASIBLE = "__infeasible__"
 
 #: On-disk payload marker; bump when the pickle layout itself changes.
 CACHE_FORMAT = "repro-search-cache-v1"
+
+#: SQLite counterpart of :data:`CACHE_FORMAT`; bump when the table layout
+#: itself changes (entry schema changes are guarded by :data:`SCHEMA_VERSION`
+#: like the pickle store).
+SQLITE_FORMAT = "repro-search-cache-sqlite-v1"
+
+#: Accepted persistent-store kinds; ``"auto"`` picks by file extension.
+STORE_BACKENDS = ("auto", "pickle", "sqlite")
+
+#: File extensions that make ``store="auto"`` choose the SQLite backend.
+SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+#: Seconds a SQLite writer waits on a locked database before failing.
+SQLITE_BUSY_TIMEOUT_S = 30.0
 
 #: Version of the *entry* layout: the :func:`task_key` tuple shape and the
 #: ``DataflowResult`` / ``TrafficBreakdown`` dataclasses.  The package
@@ -57,16 +84,43 @@ def validate_shard(shard_index: int, shard_count: int) -> tuple:
     return shard_index, shard_count
 
 
-def shard_cache_filename(backend: str, shard_index: int, shard_count: int) -> str:
+def resolve_store(store, path) -> str:
+    """Normalise a persistent-store option to ``"pickle"`` or ``"sqlite"``.
+
+    ``"auto"`` (or ``None``) picks SQLite when the path carries one of
+    :data:`SQLITE_EXTENSIONS` and the pickle store otherwise, so existing
+    ``--cache-file foo.pkl`` invocations keep their behaviour unchanged.
+    """
+    if store is None:
+        store = "auto"
+    if store not in STORE_BACKENDS:
+        choices = ", ".join(repr(choice) for choice in STORE_BACKENDS)
+        raise ValueError(f"store must be one of {choices}, got {store!r}")
+    if store == "auto":
+        if path and os.path.splitext(path)[1].lower() in SQLITE_EXTENSIONS:
+            return "sqlite"
+        return "pickle"
+    return store
+
+
+def shard_cache_filename(
+    backend: str, shard_index: int, shard_count: int, store: str = "pickle"
+) -> str:
     """Cache file name for one shard of an orchestrated run.
 
-    Shards of the same run must never share a cache file (they may execute
-    on different machines and upload their trees independently), so the
-    shard coordinates and the backend are baked into the name; a resumed
-    shard finds exactly the entries its own earlier attempt persisted.
+    Shards of the same run must never share a *pickle* cache file (they may
+    execute on different machines and upload their trees independently), so
+    the shard coordinates and the backend are baked into the name; a resumed
+    shard finds exactly the entries its own earlier attempt persisted.  With
+    ``store="sqlite"`` the name keeps the same scheme (only the extension
+    changes); co-located shards *may* point their engines at one shared
+    SQLite file instead -- the store is multi-writer safe.
     """
     validate_shard(shard_index, shard_count)
-    return f"search-{backend}-shard{shard_index}of{shard_count}.pkl"
+    if store not in ("pickle", "sqlite"):
+        raise ValueError(f"store must be 'pickle' or 'sqlite', got {store!r}")
+    extension = "pkl" if store == "pickle" else "sqlite"
+    return f"search-{backend}-shard{shard_index}of{shard_count}.{extension}"
 
 
 def _code_version() -> str:
@@ -159,11 +213,22 @@ class CacheStats:
     evaluates a capacity-dependent refinement neighbourhood per capacity
     inside its single invocation (its candidate set is analytic, not a
     shared dense grid).
+
+    ``coalesced`` and ``batched`` are the serving counters (zero outside
+    the daemon of :mod:`repro.server`): a *coalesced* request attached to
+    an identical in-flight computation and was never submitted as a task
+    at all (so the ``hits + misses == tasks submitted`` invariant above is
+    unaffected), while ``batched`` counts tasks that reached the engine in
+    a micro-batch flush together with at least one other compatible task
+    of the same ``(dataflow, layer)`` group -- the requests one
+    ``search_many`` grid evaluation answered at once.
     """
 
     hits: int = 0
     misses: int = 0
     grid_evaluations: int = 0
+    coalesced: int = 0
+    batched: int = 0
 
     @property
     def lookups(self) -> int:
@@ -179,6 +244,8 @@ class CacheStats:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "grid_evaluations": self.grid_evaluations,
+            "coalesced": self.coalesced,
+            "batched": self.batched,
         }
 
     @classmethod
@@ -188,6 +255,8 @@ class CacheStats:
             hits=int(data.get("hits", 0)),
             misses=int(data.get("misses", 0)),
             grid_evaluations=int(data.get("grid_evaluations", 0)),
+            coalesced=int(data.get("coalesced", 0)),
+            batched=int(data.get("batched", 0)),
         )
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -195,23 +264,266 @@ class CacheStats:
         self.hits += other.hits
         self.misses += other.misses
         self.grid_evaluations += other.grid_evaluations
+        self.coalesced += other.coalesced
+        self.batched += other.batched
         return self
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.grid_evaluations = 0
+        self.coalesced = 0
+        self.batched = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%} hit "
             f"rate), {self.grid_evaluations} grid evaluations"
         )
+        if self.coalesced or self.batched:
+            text += f", {self.coalesced} coalesced, {self.batched} batched"
+        return text
+
+
+def _key_text(key: tuple) -> str:
+    """Deterministic textual identity of a :func:`task_key` tuple.
+
+    SQLite rows are keyed by ``repr(key)`` rather than a key pickle: pickle
+    bytes can differ between processes for equal tuples (string memoisation
+    depends on object identity), while ``repr`` of the str/int/float tuples
+    used here round-trips exactly and compares equal iff the keys do.
+    """
+    return repr(key)
+
+
+class SqliteStore:
+    """Concurrency-safe persistent entry store backed by one SQLite file.
+
+    The store speaks the same language as the pickle payloads --
+    :func:`task_key` tuples mapping to ``DataflowResult`` / ``INFEASIBLE``
+    entries under the same :data:`SCHEMA_VERSION` and package-version guard
+    -- but entries are written through *individually* inside immediate
+    transactions, with WAL journalling and a busy timeout, so several
+    processes can read and write one file at the same time: readers never
+    block behind a writer, and concurrent writers of the same key converge
+    (entries are pure functions of their keys, so last-write-wins is
+    correct by construction).
+
+    ``max_entries`` bounds the table with the same LRU semantics as the
+    in-memory cache: every store (and, when bounded, every read) refreshes
+    the entry's access sequence number, and overflow deletes the stalest
+    rows.  A mismatched format/schema/version or an unreadable database
+    raises ``ValueError`` at construction, mirroring the pickle loader --
+    :class:`SearchCache` catches that, warns, and recreates the file cold.
+    """
+
+    def __init__(self, path: str, max_entries: int = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (or None), got {max_entries}")
+        self.path = path
+        self.max_entries = max_entries
+        self.evictions = 0
+        # One connection, serialized behind a lock: the daemon funnels all
+        # engine work through one thread anyway, but benchmarks and tests
+        # may probe the store from several threads of one process.
+        self._lock = threading.RLock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._connection = None
+        try:
+            self._connection = sqlite3.connect(
+                path,
+                timeout=SQLITE_BUSY_TIMEOUT_S,
+                check_same_thread=False,
+                isolation_level=None,  # autocommit; transactions are explicit
+            )
+            self._initialise()
+        except sqlite3.DatabaseError as error:
+            self.close()
+            raise ValueError(f"corrupt search cache at {path!r}: {error}") from error
+        except BaseException:
+            self.close()
+            raise
+
+    def _initialise(self) -> None:
+        connection = self._connection
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(f"PRAGMA busy_timeout={int(SQLITE_BUSY_TIMEOUT_S * 1000)}")
+        with self._transaction():
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta (name TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "  key TEXT PRIMARY KEY,"      # repr() of the task_key tuple
+                "  key_blob BLOB NOT NULL,"    # pickle of the tuple, for items()
+                "  entry BLOB NOT NULL,"       # pickle of the result / sentinel
+                "  seq INTEGER NOT NULL"       # monotone access order (LRU)
+                ")"
+            )
+            connection.execute("CREATE INDEX IF NOT EXISTS entries_seq ON entries(seq)")
+            expected = {
+                "format": SQLITE_FORMAT,
+                "schema": str(SCHEMA_VERSION),
+                "version": _code_version(),
+            }
+            # INSERT OR IGNORE: two processes may initialise an empty file
+            # concurrently; whoever loses the race re-reads and validates.
+            connection.executemany(
+                "INSERT OR IGNORE INTO meta (name, value) VALUES (?, ?)",
+                sorted(expected.items()),
+            )
+            stored = dict(connection.execute("SELECT name, value FROM meta"))
+        for name, value in expected.items():
+            if stored.get(name) != value:
+                raise ValueError(
+                    f"search cache at {self.path!r} has {name} "
+                    f"{stored.get(name)!r}, not {value!r}; ignoring it"
+                )
+
+    def _transaction(self):
+        """Immediate write transaction (the lock spans BEGIN..COMMIT)."""
+        return _SqliteTransaction(self._connection, self._lock)
+
+    @staticmethod
+    def _next_seq_sql() -> str:
+        # Monotone-enough across processes: two concurrent writers may pick
+        # the same value, which only blurs their relative LRU order.
+        return "(SELECT COALESCE(MAX(seq), 0) + 1 FROM entries)"
+
+    # ------------------------------------------------------------- entry API
+
+    def get(self, key: tuple):
+        """Entry for ``key`` or ``None``; refreshes recency when bounded."""
+        text = _key_text(key)
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT entry FROM entries WHERE key = ?", (text,)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            entry = pickle.loads(row[0])
+            if not _valid_entry(key, entry):
+                raise ValueError(f"malformed entry for key {key!r}")
+        except Exception as error:  # noqa: BLE001 - any unpickling failure
+            # Self-heal: one bad row (e.g. written by a killed process midway
+            # outside a transaction -- should be impossible, but cheap to
+            # guard) is dropped and re-searched instead of poisoning reads.
+            warnings.warn(f"dropping unreadable cache row: {error}", stacklevel=2)
+            with self._transaction():
+                self._connection.execute("DELETE FROM entries WHERE key = ?", (text,))
+            return None
+        if self.max_entries is not None:
+            self.touch(key)
+        return entry
+
+    def touch(self, key: tuple) -> None:
+        """Refresh ``key``'s LRU recency (no-op when the key is absent)."""
+        with self._transaction():
+            self._connection.execute(
+                f"UPDATE entries SET seq = {self._next_seq_sql()} WHERE key = ?",
+                (_key_text(key),),
+            )
+
+    def store(self, key: tuple, entry) -> list:
+        """Write one entry through; returns the key tuples evicted (LRU)."""
+        key_blob = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        evicted = []
+        with self._transaction():
+            self._connection.execute(
+                "INSERT INTO entries (key, key_blob, entry, seq) "
+                f"VALUES (?, ?, ?, {self._next_seq_sql()}) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "entry = excluded.entry, seq = excluded.seq",
+                (_key_text(key), key_blob, payload),
+            )
+            if self.max_entries is not None:
+                count = self._connection.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()[0]
+                overflow = count - self.max_entries
+                if overflow > 0:
+                    rows = self._connection.execute(
+                        "SELECT key, key_blob FROM entries ORDER BY seq, key LIMIT ?",
+                        (overflow,),
+                    ).fetchall()
+                    self._connection.executemany(
+                        "DELETE FROM entries WHERE key = ?",
+                        [(text,) for text, _ in rows],
+                    )
+                    evicted = [pickle.loads(blob) for _, blob in rows]
+        self.evictions += len(evicted)
+        return evicted
+
+    def items(self) -> list:
+        """All ``(key, entry)`` pairs (a snapshot list, oldest first)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT key_blob, entry FROM entries ORDER BY seq, key"
+            ).fetchall()
+        return [(pickle.loads(key_blob), pickle.loads(entry)) for key_blob, entry in rows]
+
+    def clear(self) -> None:
+        with self._transaction():
+            self._connection.execute("DELETE FROM entries")
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM entries WHERE key = ?", (_key_text(key),)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    # ------------------------------------------------------------ maintenance
+
+    def checkpoint(self) -> None:
+        """Fold the WAL back into the main database file."""
+        with self._lock:
+            self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        if getattr(self, "_connection", None) is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class _SqliteTransaction:
+    """``BEGIN IMMEDIATE`` .. ``COMMIT``/``ROLLBACK`` with the store's lock held."""
+
+    def __init__(self, connection, lock):
+        self._connection = connection
+        self._lock = lock
+
+    def __enter__(self):
+        self._lock.acquire()
+        try:
+            self._connection.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._lock.release()
+            raise
+        return self._connection
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            if exc_type is None:
+                self._connection.execute("COMMIT")
+            else:
+                self._connection.execute("ROLLBACK")
+        finally:
+            self._lock.release()
+        return False
 
 
 @dataclass
 class SearchCache:
-    """In-memory search-result store with optional pickle persistence.
+    """In-memory search-result store with optional persistence.
 
     The cache is dumb storage: keys are :func:`task_key` tuples and entries
     are either a :class:`~repro.dataflows.base.DataflowResult` or
@@ -224,10 +536,19 @@ class SearchCache:
     default -- the limit exists for long-lived persistent caches (the run
     orchestrator's shard caches accrete entries across resumes and would
     otherwise grow without bound).
+
+    ``store`` selects the persistence backend for ``path``: ``"pickle"``
+    (the original single-file payload, loaded wholesale here and written by
+    :meth:`save`) or ``"sqlite"`` (a write-through :class:`SqliteStore`
+    shared safely between processes; the in-memory dict then acts as a
+    look-aside read cache and the SQLite file is the authoritative LRU
+    store).  ``"auto"`` (default) picks by file extension, so existing
+    ``.pkl`` paths behave exactly as before.
     """
 
     path: str = None
     max_entries: int = None
+    store_backend: str = "auto"
     _entries: dict = field(default_factory=dict, repr=False)
 
     #: Entries dropped by the LRU limit over this cache's lifetime.
@@ -236,7 +557,23 @@ class SearchCache:
     def __post_init__(self) -> None:
         if self.max_entries is not None and self.max_entries < 1:
             raise ValueError(f"max_entries must be >= 1 (or None), got {self.max_entries}")
-        if self.path and os.path.exists(self.path):
+        self.store_backend = resolve_store(self.store_backend, self.path)
+        self._persistent = None
+        if self.store_backend == "sqlite":
+            if not self.path:
+                raise ValueError("store 'sqlite' needs a cache path")
+            try:
+                self._persistent = SqliteStore(self.path, max_entries=self.max_entries)
+            except ValueError as error:
+                # Same degradation as a corrupt pickle: warn, start cold --
+                # which for SQLite means recreating the file.
+                warnings.warn(f"starting cold: {error}", stacklevel=2)
+                for suffix in ("", "-wal", "-shm"):
+                    stale = self.path + suffix
+                    if os.path.exists(stale):
+                        os.unlink(stale)
+                self._persistent = SqliteStore(self.path, max_entries=self.max_entries)
+        elif self.path and os.path.exists(self.path):
             # A stale, corrupt or version-mismatched cache file must never
             # take the tool down: degrade to a cold cache and let the next
             # save overwrite it.
@@ -249,18 +586,38 @@ class SearchCache:
     def get(self, key: tuple):
         """Entry for ``key`` or ``None`` when absent (``INFEASIBLE`` is an entry)."""
         entry = self._entries.get(key)
-        if entry is not None and self.max_entries is not None:
-            # Refresh recency: dicts iterate in insertion order, so
-            # re-inserting makes this the youngest entry.
-            del self._entries[key]
-            self._entries[key] = entry
+        if entry is not None:
+            if self.max_entries is not None:
+                # Refresh recency: dicts iterate in insertion order, so
+                # re-inserting makes this the youngest entry.  The
+                # persistent store's recency follows so the shared LRU
+                # never evicts an entry that is hot in some process.
+                del self._entries[key]
+                self._entries[key] = entry
+                if self._persistent is not None:
+                    self._persistent.touch(key)
+            return entry
+        if self._persistent is not None:
+            entry = self._persistent.get(key)
+            if entry is not None:
+                self._entries[key] = entry
+                self._trim_lookaside()
         return entry
 
     def store(self, key: tuple, entry) -> None:
         if self.max_entries is not None and key in self._entries:
             del self._entries[key]
         self._entries[key] = entry
-        self._evict_overflow()
+        if self._persistent is not None:
+            # Write-through; the SQLite store decides what the LRU evicts
+            # (it sees every process's accesses) and the look-aside dict
+            # follows, so a key never outlives its authoritative entry.
+            for evicted in self._persistent.store(key, entry):
+                self._entries.pop(evicted, None)
+                self.evictions += 1
+            self._trim_lookaside()
+        else:
+            self._evict_overflow()
 
     def _evict_overflow(self) -> None:
         if self.max_entries is None:
@@ -269,13 +626,38 @@ class SearchCache:
             del self._entries[next(iter(self._entries))]
             self.evictions += 1
 
+    def _trim_lookaside(self) -> None:
+        # Bound the look-aside dict without counting evictions: the entry
+        # still lives in the SQLite store, so nothing was actually lost.
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            del self._entries[next(iter(self._entries))]
+
     def clear(self) -> None:
         self._entries.clear()
+        if self._persistent is not None:
+            self._persistent.clear()
+
+    def items(self) -> list:
+        """Snapshot of all ``(key, entry)`` pairs (authoritative store)."""
+        if self._persistent is not None:
+            return self._persistent.items()
+        return list(self._entries.items())
+
+    def close(self) -> None:
+        """Release the persistent store's connection (no-op for pickle)."""
+        if self._persistent is not None:
+            self._persistent.close()
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        if key in self._entries:
+            return True
+        return self._persistent is not None and key in self._persistent
 
     def __len__(self) -> int:
+        if self._persistent is not None:
+            return len(self._persistent)
         return len(self._entries)
 
     # ------------------------------------------------------------- persistence
@@ -286,10 +668,21 @@ class SearchCache:
         The payload carries the package version that produced it: results are
         functions of the traffic/search code, so entries written by any other
         version are rejected (``ValueError``) rather than silently served.
+
+        On a SQLite-backed cache ``path`` must name a *pickle* payload (the
+        SQLite file itself is always live); its entries are written through,
+        which is how a pickle cache migrates into a SQLite one.
         """
         path = path or self.path
         if path is None:
             raise ValueError("no cache path configured")
+        if self._persistent is not None and os.path.abspath(path) == os.path.abspath(
+            self.path
+        ):
+            raise ValueError(
+                "a SQLite-backed cache is always live; load() takes a pickle "
+                "payload to merge, not the cache's own path"
+            )
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         if (
@@ -316,6 +709,10 @@ class SearchCache:
                     f"search cache at {path!r} holds a malformed entry for "
                     f"key {key!r}; ignoring the file"
                 )
+        if self._persistent is not None:
+            for key, entry in entries.items():
+                self.store(key, entry)
+            return len(entries)
         self._entries.update(entries)
         # A bounded cache must honour its limit even when the file holds
         # more: the freshly loaded entries are the youngest, so the
@@ -324,15 +721,28 @@ class SearchCache:
         return len(entries)
 
     def save(self, path: str = None) -> int:
-        """Atomically pickle all entries to ``path``; return the count."""
+        """Persist the cache; return the entry count.
+
+        Pickle-backed caches atomically rewrite their payload at ``path``.
+        A SQLite-backed cache is already durable -- save with no (or its
+        own) path folds the WAL back into the database file; save with a
+        *different* path exports every entry as a pickle payload (the
+        SQLite-to-pickle migration direction).
+        """
         path = path or self.path
         if path is None:
             raise ValueError("no cache path configured")
+        if self._persistent is not None and os.path.abspath(path) == os.path.abspath(
+            self.path
+        ):
+            self._persistent.checkpoint()
+            return len(self._persistent)
+        entries = dict(self.items()) if self._persistent is not None else self._entries
         payload = {
             "format": CACHE_FORMAT,
             "schema": SCHEMA_VERSION,
             "version": _code_version(),
-            "entries": self._entries,
+            "entries": entries,
         }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -345,4 +755,33 @@ class SearchCache:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
-        return len(self._entries)
+        return len(entries)
+
+
+def migrate_cache(
+    source_path: str,
+    dest_path: str,
+    source_store: str = "auto",
+    dest_store: str = "auto",
+    max_entries: int = None,
+) -> int:
+    """Copy every entry of one persistent cache into another; return the count.
+
+    Works in either direction (pickle -> SQLite and SQLite -> pickle) and
+    between same-kind stores; entries round-trip byte-identically (both
+    stores pickle the same objects).  The destination is created if absent
+    and existing destination entries are kept (the copy merges over them).
+    """
+    source = SearchCache(path=source_path, store_backend=source_store)
+    dest = SearchCache(
+        path=dest_path, store_backend=dest_store, max_entries=max_entries
+    )
+    try:
+        items = source.items()
+        for key, entry in items:
+            dest.store(key, entry)
+        dest.save()
+        return len(items)
+    finally:
+        source.close()
+        dest.close()

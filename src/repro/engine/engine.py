@@ -113,8 +113,14 @@ class SearchEngine:
         Set to ``False`` to disable memoization entirely (every task then
         counts as a miss and re-runs the search).
     cache_path:
-        Optional pickle file for the cache.  Existing entries are loaded at
-        construction; call :meth:`save` to persist new ones.
+        Optional persistence file for the cache.  Pickle payloads are loaded
+        wholesale at construction (call :meth:`save` to persist new
+        entries); SQLite stores (``cache_store="sqlite"``, or ``"auto"``
+        with a ``.sqlite``/``.db`` path) are live write-through databases
+        safe to share between concurrent processes.
+    cache_store:
+        Persistence backend for ``cache_path``: ``"auto"`` (default, picks
+        by extension), ``"pickle"`` or ``"sqlite"``.
     cache_max_entries:
         Optional LRU bound on the cache (see
         :class:`~repro.engine.cache.SearchCache`); ``None`` (the default)
@@ -132,11 +138,18 @@ class SearchEngine:
         cache_path: str = None,
         backend: str = "auto",
         cache_max_entries: int = None,
+        cache_store: str = "auto",
     ):
         self.workers = resolve_workers(workers)
         self.backend = resolve_backend(backend)
         self.cache = (
-            SearchCache(path=cache_path, max_entries=cache_max_entries) if cache else None
+            SearchCache(
+                path=cache_path,
+                max_entries=cache_max_entries,
+                store_backend=cache_store,
+            )
+            if cache
+            else None
         )
         self.stats = CacheStats()
 

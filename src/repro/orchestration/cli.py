@@ -139,6 +139,14 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         "'resume' continues from there)",
     )
     spec_parent.add_argument(
+        "--cache-store",
+        choices=["pickle", "sqlite"],
+        default="pickle",
+        help="persistence backend for the per-shard search caches "
+        "(sqlite is concurrency-safe and shareable with a running "
+        "'serve' daemon; default pickle)",
+    )
+    spec_parent.add_argument(
         "--force",
         action="store_true",
         help="recompute units even when a completed artifact already exists",
@@ -180,6 +188,13 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("--workers", type=int, default=None)
     resume.add_argument("--max-units", type=int, default=None)
+    resume.add_argument(
+        "--cache-store",
+        choices=["pickle", "sqlite"],
+        default="pickle",
+        help="persistence backend for the per-shard search caches "
+        "(match what the original run used to reuse its cache files)",
+    )
     resume.add_argument("--json", action="store_true")
 
     merge = commands.add_parser(
@@ -290,7 +305,9 @@ def _cmd_run(args) -> int:
     if not args.out_dir:
         raise ValueError("--out-dir is required (or pass --list-experiments)")
     manifest = RunManifest.from_spec(_build_spec(args))
-    runner = Runner(manifest, args.out_dir, workers=args.workers)
+    runner = Runner(
+        manifest, args.out_dir, workers=args.workers, cache_store=args.cache_store
+    )
     report = runner.run(
         shard=parse_shard(args.shard),
         resume=not args.force,
@@ -308,7 +325,9 @@ def _cmd_resume(args) -> int:
     from repro.engine import resolve_workers
 
     resolve_workers(workers)
-    runner = Runner(manifest, args.out_dir, workers=workers)
+    runner = Runner(
+        manifest, args.out_dir, workers=workers, cache_store=args.cache_store
+    )
     report = runner.run(shard=shard, resume=True, max_units=args.max_units)
     _emit_report(report, args.json)
     return 0 if report.ok else 1

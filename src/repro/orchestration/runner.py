@@ -13,8 +13,9 @@ On restart the runner skips any unit whose artifact and ``completed`` status
 already exist, so resuming after a kill recomputes nothing that finished.
 Search results of *completed* units also persist: each backend's engine
 writes its :class:`~repro.engine.SearchCache` to a shard-scoped pickle
-(:func:`repro.engine.shard_cache_filename`) after every unit, so even the
-units that were still pending at the kill restart against a warm cache.
+(:func:`repro.engine.shard_cache_filename`) after every unit -- or, with
+``cache_store="sqlite"``, through a write-through SQLite store -- so even
+the units that were still pending at the kill restart against a warm cache.
 """
 
 from __future__ import annotations
@@ -122,16 +123,39 @@ class RunReport:
 
 
 class Runner:
-    """Execute one shard of a manifest into an artifact tree under ``out_dir``."""
+    """Execute one shard of a manifest into an artifact tree under ``out_dir``.
 
-    def __init__(self, manifest: RunManifest, out_dir: str, workers: int = 1):
+    ``cache_store`` selects the persistence backend of the per-backend shard
+    caches: ``"pickle"`` (the default, one atomic payload written after
+    every unit) or ``"sqlite"`` (write-through, multi-process safe -- the
+    store the :mod:`repro.server` daemon shares with orchestrated runs).
+    """
+
+    def __init__(
+        self,
+        manifest: RunManifest,
+        out_dir: str,
+        workers: int = 1,
+        cache_store: str = "pickle",
+    ):
+        if cache_store not in ("pickle", "sqlite"):
+            raise ValueError(
+                f"cache_store must be 'pickle' or 'sqlite', got {cache_store!r}"
+            )
         self.manifest = manifest
         self.out_dir = out_dir
         self.workers = workers
+        self.cache_store = cache_store
 
     # ------------------------------------------------------------- execution
 
-    def run(self, shard=(1, 1), resume: bool = True, max_units: int = None) -> RunReport:
+    def run(
+        self,
+        shard=(1, 1),
+        resume: bool = True,
+        max_units: int = None,
+        progress=None,
+    ) -> RunReport:
         """Run the shard; checkpoint every unit; skip completed ones on resume.
 
         ``resume=False`` recomputes every unit of the shard from scratch
@@ -139,6 +163,13 @@ class Runner:
         stops after that many fresh completions, leaving the rest pending --
         the mechanism tests use to simulate a mid-shard kill, and a way to
         timebox a run; the next ``resume`` picks up exactly where it stopped.
+
+        ``progress``, when given, is called once per unit *as it resolves*
+        with a JSON-serializable event dict (``unit_id``, ``state`` of
+        ``completed``/``skipped``/``failed``, ``elapsed_seconds``, running
+        completion counts) -- the hook the serving daemon streams to
+        clients.  Progress callbacks must not raise; an exception from one
+        propagates and aborts the shard like any internal error.
         """
         index, count = shard
         units = self.manifest.shard(index, count)
@@ -146,9 +177,31 @@ class Runner:
         self._write_run_metadata(shard)
         report = RunReport(shard=(index, count), units_total=len(units))
         engines = {}
+
+        def _emit(unit, state, started, error=None):
+            if progress is None:
+                return
+            event = {
+                "event": "unit",
+                "unit_id": unit.unit_id,
+                "experiment": unit.experiment,
+                "workload": unit.workload,
+                "state": state,
+                "elapsed_seconds": (
+                    0.0 if started is None else round(time.monotonic() - started, 6)
+                ),
+                "units_done": report.units_completed + report.units_skipped,
+                "units_failed": report.units_failed,
+                "units_total": report.units_total,
+            }
+            if error is not None:
+                event["error"] = error
+            progress(event)
+
         for unit in units:
             if resume and self.is_completed(unit.unit_id):
                 report.units_skipped += 1
+                _emit(unit, "skipped", None)
                 continue
             if max_units is not None and report.units_completed >= max_units:
                 report.units_pending += 1
@@ -162,9 +215,11 @@ class Runner:
                 report.units_failed += 1
                 report.failures.append({"unit_id": unit.unit_id, "error": str(error)})
                 self._write_status(unit.unit_id, "failed", started, error=str(error))
+                _emit(unit, "failed", started, error=str(error))
                 continue
             report.units_completed += 1
             self._write_status(unit.unit_id, "completed", started)
+            _emit(unit, "completed", started)
         report.engine_stats = {
             backend: dict(
                 engine.stats.as_dict(),
@@ -213,13 +268,16 @@ class Runner:
         if backend not in engines:
             index, count = shard
             cache_path = os.path.join(
-                self.out_dir, CACHE_DIRNAME, shard_cache_filename(backend, index, count)
+                self.out_dir,
+                CACHE_DIRNAME,
+                shard_cache_filename(backend, index, count, store=self.cache_store),
             )
             engines[backend] = SearchEngine(
                 workers=self.workers,
                 cache_path=cache_path,
                 backend=backend,
                 cache_max_entries=SHARD_CACHE_MAX_ENTRIES,
+                cache_store=self.cache_store,
             )
         return engines[backend]
 

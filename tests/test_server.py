@@ -1,0 +1,348 @@
+"""Tests for the search daemon: protocol, coalescing service, HTTP server.
+
+The service tests drive :class:`repro.server.service.SearchService` on a
+private event loop and pin the concurrency semantics (coalescing keeps the
+``hits + misses == tasks`` engine invariant, batching groups compatible
+capacities, failures fan out to every waiter).  The daemon tests run a real
+:class:`~repro.server.daemon.SearchDaemon` on an ephemeral port inside a
+background thread and talk to it with the stdlib client -- every served
+result is compared against a direct engine call for bit-identity.  The
+subprocess/SIGTERM path is covered by ``python -m repro.server.smoke``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.layer import ConvLayer, kib_to_words
+from repro.dataflows.registry import get_dataflow
+from repro.engine import SearchEngine
+from repro.server.client import SearchClient, ServerError
+from repro.server.daemon import SearchDaemon
+from repro.server.protocol import (
+    ProtocolError,
+    layer_from_wire,
+    layer_to_wire,
+    resolve_capacity,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.server.service import SearchService
+from repro.workloads.registry import get_workload_spec
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1)
+
+
+class TestProtocol:
+    def test_layer_round_trip(self, layer):
+        assert layer_from_wire(layer_to_wire(layer)) == layer
+
+    def test_layer_defaults_stride_and_padding(self):
+        wire = layer_to_wire(ConvLayer("l", 1, 8, 14, 14, 16, 3, 3))
+        del wire["stride"], wire["padding"]
+        assert layer_from_wire(wire) == ConvLayer("l", 1, 8, 14, 14, 16, 3, 3)
+
+    def test_layer_rejects_unknown_and_missing_fields(self, layer):
+        with pytest.raises(ProtocolError, match="unknown layer fields"):
+            layer_from_wire(dict(layer_to_wire(layer), bogus=1))
+        with pytest.raises(ProtocolError, match="missing"):
+            layer_from_wire({"name": "l"})
+
+    def test_result_round_trip_is_exact(self, layer):
+        engine = SearchEngine()
+        result = engine.try_search(get_dataflow("Ours"), layer, 8192)
+        assert result is not None
+        assert result_from_wire(result_to_wire(result)) == result
+
+    def test_capacity_words_and_kib_agree_with_cli_conversion(self):
+        assert resolve_capacity({"capacity_words": 8192}) == 8192
+        assert resolve_capacity({"capacity_kib": 16}) == kib_to_words(16)
+        with pytest.raises(ProtocolError, match="not both"):
+            resolve_capacity({"capacity_words": 1, "capacity_kib": 1})
+        with pytest.raises(ProtocolError, match="positive"):
+            resolve_capacity({"capacity_words": 0})
+        with pytest.raises(ProtocolError, match="positive"):
+            resolve_capacity({"capacity_words": True})
+
+
+class TestSearchService:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_duplicate_inflight_requests_coalesce(self, layer):
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+
+        async def scenario():
+            service = SearchService(engine, flush_window_s=0.005)
+            try:
+                return await asyncio.gather(
+                    *(service.search(dataflow, layer, 8192) for _ in range(5))
+                )
+            finally:
+                await service.drain()
+                service.close()
+
+        results = self._run(scenario())
+        direct = SearchEngine().try_search(dataflow, layer, 8192)
+        assert all(result == direct for result in results)
+        # 5 requests, 1 computation: 4 coalesced, and the engine invariant
+        # (hits + misses == tasks actually submitted) holds.
+        assert engine.stats.coalesced == 4
+        assert engine.stats.hits + engine.stats.misses == 1
+
+    def test_compatible_capacities_batch_into_one_flush(self, layer):
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+        capacities = [4096, 8192, 16384]
+
+        async def scenario():
+            service = SearchService(engine, flush_window_s=0.005)
+            try:
+                return await service.search_many(dataflow, layer, capacities)
+            finally:
+                await service.drain()
+                service.close()
+
+        results = self._run(scenario())
+        reference = SearchEngine()
+        assert results == [
+            reference.try_search(dataflow, layer, capacity) for capacity in capacities
+        ]
+        assert engine.stats.batched == len(capacities)
+        assert engine.stats.coalesced == 0
+
+    def test_served_results_relabel_like_the_engine(self, layer):
+        """Shape-equal layers with different names get per-request labels."""
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+        twin = ConvLayer("twin", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1)
+
+        async def scenario():
+            service = SearchService(engine, flush_window_s=0.005)
+            try:
+                return await asyncio.gather(
+                    service.search(dataflow, layer, 8192),
+                    service.search(dataflow, twin, 8192),
+                )
+            finally:
+                await service.drain()
+                service.close()
+
+        first, second = self._run(scenario())
+        assert first.layer_name == "l"
+        assert second.layer_name == "twin"
+        assert first.traffic == second.traffic
+        # The twins share one cache key, so the second request coalesced.
+        assert engine.stats.coalesced == 1
+
+    def test_engine_failure_fans_out_to_every_waiter(self, layer):
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+
+        def explode(tasks):
+            raise RuntimeError("engine down")
+
+        engine.search_tasks = explode
+
+        async def scenario():
+            service = SearchService(engine, flush_window_s=0.005)
+            try:
+                return await asyncio.gather(
+                    *(service.search(dataflow, layer, 8192) for _ in range(3)),
+                    return_exceptions=True,
+                )
+            finally:
+                service.close()
+
+        results = self._run(scenario())
+        assert len(results) == 3
+        assert all(
+            isinstance(result, RuntimeError) and "engine down" in str(result)
+            for result in results
+        )
+
+    def test_max_batch_flushes_immediately(self, layer):
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+
+        async def scenario():
+            # A huge window would stall forever if max_batch didn't flush.
+            service = SearchService(engine, flush_window_s=30.0, max_batch=2)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.gather(
+                        service.search(dataflow, layer, 4096),
+                        service.search(dataflow, layer, 8192),
+                    ),
+                    timeout=20,
+                )
+            finally:
+                await service.drain()
+                service.close()
+
+        results = self._run(scenario())
+        assert len(results) == 2
+
+    def test_invalid_tuning_rejected(self):
+        engine = SearchEngine()
+        with pytest.raises(ValueError, match="flush_window_s"):
+            SearchService(engine, flush_window_s=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            SearchService(engine, max_batch=0)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A real daemon on an ephemeral port, served from a background thread."""
+    engine = SearchEngine(cache_path=str(tmp_path / "cache.sqlite"))
+    instance = SearchDaemon(
+        engine=engine,
+        port=0,
+        flush_window_s=0.005,
+        work_dir=str(tmp_path / "runs"),
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def serve():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(instance.start())
+        started.set()
+        loop.run_until_complete(instance.serve_until_shutdown())
+        loop.close()
+
+    thread = threading.Thread(target=serve, name="test-daemon")
+    thread.start()
+    assert started.wait(timeout=30), "daemon did not start"
+    yield instance
+    loop.call_soon_threadsafe(instance.request_shutdown)
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "daemon did not shut down"
+
+
+class TestDaemon:
+    def test_healthz_reports_identity(self, daemon):
+        with SearchClient(port=daemon.port) as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["cache_store"] == "sqlite"
+        assert health["backend"] in ("numpy", "python")
+
+    def test_served_search_is_bit_identical(self, daemon, layer):
+        direct = SearchEngine().try_search(get_dataflow("Ours"), layer, 8192)
+        with SearchClient(port=daemon.port) as client:
+            served = client.search("Ours", layer=layer, capacity_words=8192)
+        assert served == direct
+
+    def test_search_by_workload_reference(self, daemon):
+        layers = get_workload_spec("tiny")
+        direct = SearchEngine().try_search(
+            get_dataflow("Ours"), layers[0], kib_to_words(16)
+        )
+        with SearchClient(port=daemon.port) as client:
+            served = client.search(
+                "Ours", workload="tiny", layer_index=0, capacity_kib=16
+            )
+        assert served == direct
+
+    def test_search_many_matches_engine_search_many(self, daemon, layer):
+        capacities = [4096, 8192, 16384]
+        reference = SearchEngine()
+        direct = reference.search_many(layer, capacities, get_dataflow("Ours"))
+        with SearchClient(port=daemon.port) as client:
+            served = client.search_many(
+                "Ours", layer=layer, capacities_words=capacities
+            )
+        assert served == direct
+
+    def test_workload_and_dataflow_listings(self, daemon):
+        with SearchClient(port=daemon.port) as client:
+            workloads = client.workloads()
+            dataflows = client.dataflows()
+        assert any(entry["name"] == "vgg16" for entry in workloads)
+        assert "Ours" in dataflows
+
+    def test_stats_counts_requests_and_cache(self, daemon, layer):
+        with SearchClient(port=daemon.port) as client:
+            client.search("Ours", layer=layer, capacity_words=8192)
+            stats = client.stats()
+        assert stats["requests_served"] >= 2
+        assert stats["cache_entries"] >= 1
+        assert stats["engine"]["misses"] >= 1
+
+    def test_unknown_route_and_bad_requests(self, daemon):
+        with SearchClient(port=daemon.port) as client:
+            with pytest.raises(ServerError) as missing:
+                client._json("GET", "/no-such-endpoint")
+            assert missing.value.status == 404
+            with pytest.raises(ServerError) as bad:
+                client._json("POST", "/search", {"dataflow": "NotADataflow"})
+            assert bad.value.status == 400
+            with pytest.raises(ServerError) as wrong_method:
+                client._json("GET", "/search")
+            assert wrong_method.value.status == 405
+
+    def test_experiment_run_streams_units_then_report(self, daemon):
+        with SearchClient(port=daemon.port) as client:
+            events = list(
+                client.run_experiments(
+                    ["table2"], out_dir="stream-run", workloads=["tiny"]
+                )
+            )
+        unit_events = [event for event in events if event["event"] == "unit"]
+        assert unit_events, f"no unit events in {events}"
+        assert all("unit_id" in event for event in unit_events)
+        assert events[-1]["event"] == "report"
+        assert events[-1]["report"]["units_failed"] == 0
+
+        # Resume of the same run skips everything, and says so per unit.
+        with SearchClient(port=daemon.port) as client:
+            events = list(client.resume_experiments("stream-run"))
+        assert events[-1]["event"] == "report"
+        assert events[-1]["report"]["units_skipped"] >= 1
+        assert any(event.get("state") == "skipped" for event in events)
+
+    def test_out_dir_escape_is_rejected(self, daemon):
+        with SearchClient(port=daemon.port) as client:
+            with pytest.raises(ServerError) as error:
+                list(
+                    client.run_experiments(
+                        ["table2"], out_dir="../evil", workloads=["tiny"]
+                    )
+                )
+        assert error.value.status == 400
+        assert "escapes" in error.value.message
+
+    def test_concurrent_duplicate_clients_coalesce(self, daemon):
+        layers = get_workload_spec("tiny")
+        direct = SearchEngine().try_search(
+            get_dataflow("OutR-A"), layers[1], kib_to_words(64)
+        )
+        results = {}
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            try:
+                with SearchClient(port=daemon.port) as client:
+                    barrier.wait(timeout=30)
+                    results[slot] = client.search(
+                        "OutR-A", workload="tiny", layer_index=1, capacity_kib=64
+                    )
+            except Exception as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == 8
+        assert all(result == direct for result in results.values())
+        assert daemon.engine.stats.coalesced > 0

@@ -1,0 +1,388 @@
+"""Concurrency, recovery and migration tests for the SQLite cache store.
+
+The SQLite backend exists so many processes (orchestrator shards, the serve
+daemon, ad-hoc CLIs) can share one persistent search cache safely.  These
+tests pin exactly that contract:
+
+* two processes hammering the *same* keys leave a consistent store holding
+  results bit-identical to a direct engine run;
+* a reader sees a coherent store while a writer is mid-stream;
+* a corrupt database degrades to a cold start (mirroring the corrupt-pickle
+  behaviour) instead of crashing or serving garbage;
+* pickle -> SQLite -> pickle migration round-trips entries exactly;
+* a shard cache written by an orchestrated ``run --cache-store sqlite`` is
+  served as *hits* by a fresh engine pointed at the same file (the daemon's
+  warm-start path).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.dataflows.registry import get_dataflow
+from repro.engine import (
+    INFEASIBLE,
+    SearchCache,
+    SearchEngine,
+    SqliteStore,
+    migrate_cache,
+    resolve_store,
+    shard_cache_filename,
+    task_key,
+)
+from repro.engine.cache import SCHEMA_VERSION
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("l", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1)
+
+
+@pytest.fixture
+def layers():
+    return [
+        ConvLayer("a", 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1),
+        ConvLayer("b", 1, 16, 14, 14, 16, 3, 3, stride=1, padding=1),
+        ConvLayer("c", 2, 8, 10, 10, 8, 3, 3, stride=2, padding=0),
+    ]
+
+
+class TestStoreResolution:
+    def test_sqlite_extensions_select_sqlite(self):
+        for extension in (".sqlite", ".sqlite3", ".db", ".SQLITE"):
+            assert resolve_store("auto", f"cache{extension}") == "sqlite"
+
+    def test_other_paths_select_pickle(self):
+        assert resolve_store("auto", "cache.pkl") == "pickle"
+        assert resolve_store("auto", None) == "pickle"
+
+    def test_explicit_backend_wins_over_extension(self):
+        assert resolve_store("pickle", "cache.sqlite") == "pickle"
+        assert resolve_store("sqlite", "cache.pkl") == "sqlite"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="store"):
+            resolve_store("mongodb", "cache.db")
+
+    def test_sqlite_without_path_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            SearchCache(store_backend="sqlite")
+
+    def test_shard_cache_filename_by_store(self):
+        assert shard_cache_filename("numpy", 1, 4).endswith(".pkl")
+        assert shard_cache_filename("numpy", 1, 4, store="sqlite").endswith(".sqlite")
+
+
+class TestPersistenceParity:
+    """SQLite must hold exactly what the pickle store would hold."""
+
+    def _populate(self, cache_path: str, layers) -> SearchEngine:
+        engine = SearchEngine(cache_path=cache_path)
+        dataflow = get_dataflow("Ours")
+        for layer in layers:
+            for capacity in (4096, 16384):
+                engine.try_search(dataflow, layer, capacity)
+        engine.save()
+        return engine
+
+    def test_entries_identical_to_pickle_store(self, tmp_path, layers):
+        sqlite_engine = self._populate(str(tmp_path / "cache.sqlite"), layers)
+        pickle_engine = self._populate(str(tmp_path / "cache.pkl"), layers)
+        sqlite_entries = dict(sqlite_engine.cache.items())
+        pickle_entries = dict(pickle_engine.cache.items())
+        assert sqlite_entries == pickle_entries
+        # Byte-identical, not merely equal: the serialized form of every
+        # entry matches what the pickle store persists.
+        for key, entry in sqlite_entries.items():
+            assert pickle.dumps(entry) == pickle.dumps(pickle_entries[key])
+
+    def test_survives_restart_and_serves_hits(self, tmp_path, layers):
+        path = str(tmp_path / "cache.sqlite")
+        expected = {}
+        engine = self._populate(path, layers)
+        dataflow = get_dataflow("Ours")
+        for layer in layers:
+            for capacity in (4096, 16384):
+                expected[(layer.name, capacity)] = engine.try_search(
+                    dataflow, layer, capacity
+                )
+        engine.cache.close()
+
+        warm = SearchEngine(cache_path=path)
+        for layer in layers:
+            for capacity in (4096, 16384):
+                assert (
+                    warm.try_search(dataflow, layer, capacity)
+                    == expected[(layer.name, capacity)]
+                )
+        assert warm.stats.misses == 0
+        assert warm.stats.hits == len(expected)
+        warm.cache.close()
+
+    def test_lru_eviction_matches_pickle_semantics(self, tmp_path, layer):
+        dataflow = get_dataflow("Ours")
+        caches = [
+            SearchCache(path=str(tmp_path / "a.sqlite"), max_entries=2),
+            SearchCache(max_entries=2),  # the in-memory/pickle reference
+        ]
+        keys = [task_key(dataflow, layer, capacity) for capacity in (1024, 2048, 4096)]
+        for cache in caches:
+            for key in keys[:2]:
+                cache.store(key, INFEASIBLE)
+            cache.get(keys[0])  # refresh key 0; key 1 becomes the LRU victim
+            cache.store(keys[2], INFEASIBLE)
+            assert cache.evictions == 1
+            assert keys[0] in cache and keys[2] in cache
+            assert keys[1] not in cache
+        caches[0].close()
+
+
+class TestConcurrency:
+    def test_two_processes_writing_same_keys(self, tmp_path, layers):
+        """Overlapping multi-process writes end consistent and complete."""
+        path = str(tmp_path / "shared.sqlite")
+        script = (
+            "import sys\n"
+            "from repro.core.layer import ConvLayer\n"
+            "from repro.dataflows.registry import get_dataflow\n"
+            "from repro.engine import SearchEngine\n"
+            "engine = SearchEngine(cache_path=sys.argv[1])\n"
+            "dataflow = get_dataflow('Ours')\n"
+            "layers = [\n"
+            "    ConvLayer('a', 1, 8, 14, 14, 16, 3, 3, stride=1, padding=1),\n"
+            "    ConvLayer('b', 1, 16, 14, 14, 16, 3, 3, stride=1, padding=1),\n"
+            "    ConvLayer('c', 2, 8, 10, 10, 8, 3, 3, stride=2, padding=0),\n"
+            "]\n"
+            "for _ in range(3):\n"
+            "    for layer in layers:\n"
+            "        for capacity in (4096, 8192, 16384):\n"
+            "            engine.try_search(dataflow, layer, capacity)\n"
+            "engine.cache.close()\n"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        processes = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, path],
+                env=env,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        for process in processes:
+            _, stderr = process.communicate(timeout=120)
+            assert process.returncode == 0, stderr
+
+        # The survivor must hold every key, each bit-identical to a direct
+        # engine answer (last-write-wins is safe: entries are pure functions
+        # of their keys).
+        reference = SearchEngine()
+        dataflow = get_dataflow("Ours")
+        cache = SearchCache(path=path)
+        assert len(cache) == len(layers) * 3
+        for layer in layers:
+            for capacity in (4096, 8192, 16384):
+                key = task_key(dataflow, layer, capacity)
+                cached = cache.get(key)
+                expected = reference.try_search(dataflow, layer, capacity)
+                if expected is None:
+                    assert cached == INFEASIBLE
+                else:
+                    assert cached == expected
+        cache.close()
+
+    def test_reader_sees_coherent_store_during_writes(self, tmp_path, layer):
+        """A concurrent reader never errors and never sees garbage."""
+        path = str(tmp_path / "shared.sqlite")
+        dataflow = get_dataflow("Ours")
+        writer_cache = SearchCache(path=path)
+        reader_cache = SearchCache(path=path)  # its own connection
+        keys = [task_key(dataflow, layer, capacity) for capacity in range(1024, 1324)]
+        errors = []
+        seen = set()
+        stop = threading.Event()
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    for key in keys:
+                        entry = reader_cache.get(key)
+                        # Either not written yet, or the exact stored value;
+                        # anything else means a torn read.
+                        if entry is not None and entry != INFEASIBLE:
+                            errors.append(f"unexpected entry {entry!r}")
+                        if entry is not None:
+                            seen.add(key)
+            except Exception as error:  # noqa: BLE001 - reported below
+                errors.append(f"{type(error).__name__}: {error}")
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            for key in keys:
+                writer_cache.store(key, INFEASIBLE)
+        finally:
+            stop.set()
+            reader.join(timeout=60)
+        assert not errors
+        assert len(reader_cache) == len(keys)
+        writer_cache.close()
+        reader_cache.close()
+
+
+class TestRecovery:
+    def test_corrupt_database_starts_cold(self, tmp_path, layer):
+        """Garbage bytes degrade to an empty cache, like a corrupt pickle."""
+        path = str(tmp_path / "cache.sqlite")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a sqlite database at all")
+        with pytest.warns(UserWarning, match="starting cold"):
+            cache = SearchCache(path=path)
+        # ...and the recovered store is fully functional.
+        dataflow = get_dataflow("Ours")
+        key = task_key(dataflow, layer, 4096)
+        cache.store(key, INFEASIBLE)
+        assert key in cache
+        cache.close()
+        reopened = SearchCache(path=path)
+        assert key in reopened
+        reopened.close()
+
+    def test_schema_mismatch_starts_cold(self, tmp_path, layer):
+        path = str(tmp_path / "cache.sqlite")
+        store = SqliteStore(path)
+        dataflow = get_dataflow("Ours")
+        store.store(task_key(dataflow, layer, 4096), INFEASIBLE)
+        with store._transaction():
+            store._connection.execute(
+                "UPDATE meta SET value = ? WHERE name = 'schema'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        store.close()
+        with pytest.warns(UserWarning, match="starting cold"):
+            cache = SearchCache(path=path)
+        assert len(cache) == 0
+        cache.close()
+
+    def test_unreadable_row_is_dropped_not_fatal(self, tmp_path, layer):
+        path = str(tmp_path / "cache.sqlite")
+        store = SqliteStore(path)
+        dataflow = get_dataflow("Ours")
+        key = task_key(dataflow, layer, 4096)
+        store.store(key, INFEASIBLE)
+        with store._transaction():
+            store._connection.execute(
+                "UPDATE entries SET entry = ?", (b"not a pickle",)
+            )
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert store.get(key) is None
+        assert key not in store  # the poisoned row was deleted
+        store.close()
+
+
+class TestMigration:
+    def _fill(self, cache: SearchCache, layers) -> dict:
+        engine = SearchEngine()
+        dataflow = get_dataflow("Ours")
+        entries = {}
+        for layer in layers:
+            for capacity in (4096, 16384):
+                key = task_key(dataflow, layer, capacity)
+                entries[key] = engine.try_search(dataflow, layer, capacity)
+                cache.store(key, entries[key])
+        return entries
+
+    def test_pickle_to_sqlite_to_pickle_round_trip(self, tmp_path, layers):
+        pickle_path = str(tmp_path / "cache.pkl")
+        sqlite_path = str(tmp_path / "cache.sqlite")
+        back_path = str(tmp_path / "back.pkl")
+
+        source = SearchCache(path=pickle_path)
+        entries = self._fill(source, layers)
+        source.save()
+
+        assert migrate_cache(pickle_path, sqlite_path) == len(entries)
+        migrated = SearchCache(path=sqlite_path)
+        assert dict(migrated.items()) == entries
+        migrated.close()
+
+        assert migrate_cache(sqlite_path, back_path) == len(entries)
+        back = SearchCache(path=back_path)
+        back.load()
+        assert dict(back.items()) == entries
+
+    def test_load_pickle_into_live_sqlite_cache(self, tmp_path, layers):
+        """SearchCache.load() on a SQLite cache is the migration path."""
+        pickle_path = str(tmp_path / "cache.pkl")
+        source = SearchCache(path=pickle_path)
+        entries = self._fill(source, layers)
+        source.save()
+
+        cache = SearchCache(path=str(tmp_path / "cache.sqlite"))
+        assert cache.load(pickle_path) == len(entries)
+        assert dict(cache.items()) == entries
+        cache.close()
+
+    def test_sqlite_cache_refuses_to_load_itself(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        cache = SearchCache(path=path)
+        with pytest.raises(ValueError, match="live"):
+            cache.load(path)
+        cache.close()
+
+
+class TestShardCacheCrossCheck:
+    """A sharded run's SQLite cache must warm the daemon's engine directly."""
+
+    def test_run_shard_cache_is_served_as_hits(self, tmp_path):
+        from repro.orchestration.cli import main as orchestration_main
+
+        out_dir = str(tmp_path / "run")
+        status = orchestration_main(
+            [
+                "run",
+                "--out-dir",
+                out_dir,
+                "--workloads",
+                "tiny",
+                "--experiments",
+                "fig13",
+                "--capacities",
+                "16",
+                "64",
+                "--cache-store",
+                "sqlite",
+            ]
+        )
+        assert status == 0
+        # Shard caches are named by the *spec* backend ("auto"), not the
+        # resolved one -- the daemon must look the file up the same way.
+        cache_file = os.path.join(
+            out_dir, "cache", shard_cache_filename("auto", 1, 1, store="sqlite")
+        )
+        assert os.path.exists(cache_file)
+
+        warm = SearchEngine(cache_path=cache_file)
+        from repro.core.layer import kib_to_words
+        from repro.workloads.registry import get_workload_spec
+
+        reference = SearchEngine()
+        for layer in get_workload_spec("tiny"):
+            for kib in (16, 64):
+                dataflow = get_dataflow("Ours")
+                assert warm.try_search(
+                    dataflow, layer, kib_to_words(kib)
+                ) == reference.try_search(dataflow, layer, kib_to_words(kib))
+        assert warm.stats.misses == 0, (
+            "daemon-side engine missed on keys the sharded run cached -- "
+            "key or schema drift between Runner and SearchEngine"
+        )
+        assert warm.stats.hits > 0
+        warm.cache.close()
