@@ -369,12 +369,7 @@ class AcceleratorModel:
 
     def _block_shapes(self, layer: ConvLayer, tiling: Tiling):
         """Distinct block shapes and how many blocks have each shape."""
-        for b_size, b_count in _tile_shapes(layer.batch, tiling.b):
-            for z_size, z_count in _tile_shapes(layer.out_channels, tiling.z):
-                for y_size, y_count in _tile_shapes(layer.out_height, tiling.y):
-                    for x_size, x_count in _tile_shapes(layer.out_width, tiling.x):
-                        count = b_count * z_count * y_count * x_count
-                        yield BlockShape(b=b_size, z=z_size, y=y_size, x=x_size), count
+        return block_shapes(layer, tiling)
 
     def _utilization(
         self,
@@ -413,6 +408,22 @@ class AcceleratorModel:
 #: Cache of chosen tilings keyed by (configuration, layer); both are frozen
 #: dataclasses, so the cache is shared across AcceleratorModel instances.
 _TILING_CACHE: dict = {}
+
+
+def block_shapes(layer: ConvLayer, tiling: Tiling):
+    """Distinct output-block shapes of ``tiling`` on ``layer`` with counts.
+
+    Yields ``(BlockShape, count)`` pairs covering the whole layer (interior
+    blocks plus boundary-clipped edge blocks).  Shared by the analytic model
+    and the tile-level timing simulator (:mod:`repro.timing`), which must
+    walk the exact same block decomposition for their cycle totals to agree.
+    """
+    for b_size, b_count in _tile_shapes(layer.batch, tiling.b):
+        for z_size, z_count in _tile_shapes(layer.out_channels, tiling.z):
+            for y_size, y_count in _tile_shapes(layer.out_height, tiling.y):
+                for x_size, x_count in _tile_shapes(layer.out_width, tiling.x):
+                    count = b_count * z_count * y_count * x_count
+                    yield BlockShape(b=b_size, z=z_size, y=y_size, x=x_size), count
 
 
 def _divisors(value: int) -> list:

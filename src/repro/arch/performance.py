@@ -4,6 +4,12 @@ The accelerator model already splits cycles into *compute* and *waiting*
 (DRAM transfers that double buffering cannot hide).  This module converts
 cycles to seconds at the core clock and combines them with the energy model
 to obtain average power dissipation, matching the quantities of Fig. 19.
+
+:func:`simulate_network` is the one-call front door over both cycle models:
+``mode="analytic"`` runs the first-order
+:class:`~repro.arch.accelerator.AcceleratorModel`, ``mode="timing"`` the
+tile-level double-buffered simulator (:mod:`repro.timing`), whose
+infinite-bandwidth limit reproduces the analytic cycles bit-identically.
 """
 
 from __future__ import annotations
@@ -58,6 +64,44 @@ def performance_report(
         waiting_seconds=waiting_seconds,
         energy_joules=energy.total * 1e-12,
     )
+
+
+def simulate_network(
+    layers,
+    config: AcceleratorConfig,
+    mode: str = "analytic",
+    dram_bandwidth_bytes_per_s: float = 6.4e9,
+    backend: str = "auto",
+    energy_model=None,
+) -> tuple:
+    """Run ``layers`` on ``config`` and report Fig. 19 quantities.
+
+    Returns ``(network_result, PerformanceReport)``.  ``mode="analytic"``
+    is the aggregate model behind Fig. 19; ``mode="timing"`` walks the tile
+    stream with per-buffer stall accounting (``backend`` selects the scalar
+    or the bit-identical NumPy recurrence).  Both modes price energy with
+    the same Table II model; in timing mode the access counts come from the
+    analytic walk (a stall moves no extra data) while the leakage term is
+    charged over the stall-lengthened timed cycles.
+    """
+    from repro.energy.model import EnergyModel
+
+    if energy_model is None:
+        energy_model = EnergyModel()
+    if mode == "analytic":
+        from repro.arch.accelerator import AcceleratorModel
+
+        network = AcceleratorModel(config, dram_bandwidth_bytes_per_s).run_network(layers)
+        energy = energy_model.network_energy(network, config)
+    elif mode == "timing":
+        from repro.timing import TimingSimulator, timing_network_energy
+
+        simulator = TimingSimulator(config, dram_bandwidth_bytes_per_s, backend=backend)
+        network = simulator.run_network(layers)
+        energy = timing_network_energy(layers, network, config, energy_model=energy_model)
+    else:
+        raise ValueError(f"unknown simulation mode {mode!r}; choose analytic or timing")
+    return network, performance_report(network, config, energy)
 
 
 def throughput_macs_per_second(network_result, config: AcceleratorConfig) -> float:

@@ -30,7 +30,7 @@ from repro.arch.config import AcceleratorConfig
 from repro.arch.mapping import BlockShape, map_block
 from repro.core.layer import ConvLayer, ceil_div
 from repro.core.tiling import Tiling
-from repro.core.traffic import BYTES_PER_WORD
+from repro.core.traffic import BYTES_PER_WORD, bytes_per_cycle_fraction, cycles_for_bytes
 
 
 @dataclass(frozen=True)
@@ -56,14 +56,19 @@ class IterationRecord:
     input_words_loaded: int
     weight_words_loaded: int
     compute_cycles: int
-    transfer_cycles: float
+    transfer_cycles: int
     passes: tuple
 
     @property
-    def stall_cycles(self) -> float:
+    def stall_cycles(self) -> int:
         """Cycles the PE array idles waiting for this iteration's operands,
-        assuming the previous iteration's compute overlapped the transfer."""
-        return max(0.0, self.transfer_cycles - self.compute_cycles)
+        assuming the previous iteration's compute overlapped the transfer.
+
+        Exact integer arithmetic end-to-end: ``transfer_cycles`` is already
+        a ceiling division by the rational bytes-per-cycle, so the stall
+        stays an ``int`` and sums of stalls never accumulate float error.
+        """
+        return max(0, self.transfer_cycles - self.compute_cycles)
 
 
 @dataclass(frozen=True)
@@ -104,7 +109,9 @@ class ScheduleGenerator:
         tiling = tiling.clip(layer)
         mapping = map_block(layer, block, self.config)
         cycles_per_pass = mapping.cycles_per_pass()
-        bytes_per_cycle = self.dram_bandwidth_bytes_per_s / self.config.clock_hz
+        bytes_per_cycle = bytes_per_cycle_fraction(
+            self.dram_bandwidth_bytes_per_s, self.config.clock_hz
+        )
 
         input_rows = (block.y - 1) * layer.stride + layer.kernel_height
         input_cols = (block.x - 1) * layer.stride + layer.kernel_width
@@ -137,7 +144,9 @@ class ScheduleGenerator:
                         pass_index += 1
 
             compute_cycles = len(passes) * cycles_per_pass
-            transfer_cycles = (input_words + weight_words) * BYTES_PER_WORD / bytes_per_cycle
+            transfer_cycles = cycles_for_bytes(
+                (input_words + weight_words) * BYTES_PER_WORD, bytes_per_cycle
+            )
             iterations.append(
                 IterationRecord(
                     block_index=block_index,

@@ -8,6 +8,7 @@ Examples::
     repro-experiments fig13 --workload mobilenet_v1 --capacities 66.5
     repro-experiments workloads                   # list the registry
     repro-experiments goldens --write             # re-pin the golden figures
+    repro-experiments timing --bandwidths 3.2 6.4 # stall-accurate sweep
     repro-experiments table3 --no-cache           # force cold searches
     repro-experiments all --cache-file /tmp/repro-cache.pkl
 
@@ -162,9 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--objectives",
         nargs="+",
-        choices=["dram", "energy", "time"],
+        choices=["dram", "energy", "time", "stall_time"],
         default=None,
-        help="dse: objectives the Pareto frontier minimises (default: all three)",
+        help="dse: objectives the Pareto frontier minimises (default: "
+        "dram/energy/time; 'stall_time' adds the tile-level simulator's "
+        "stall-aware latency)",
+    )
+    parser.add_argument(
+        "--bandwidths",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="GBPS",
+        help="timing: DRAM bandwidth sweep points in GB/s "
+        "(default 3.2 6.4 12.8; the paper's interface is 6.4)",
     )
     parser.add_argument(
         "--workers",
@@ -199,7 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write",
         action="store_true",
-        help="with 'goldens': re-pin the golden JSON files instead of checking them",
+        help="with 'goldens' (or 'timing'): re-pin the golden JSON files "
+        "instead of checking/printing them",
     )
     parser.add_argument(
         "--goldens-dir",
@@ -275,6 +288,18 @@ def main(argv: list = None) -> int:
         status = 0
         if args.experiment == "goldens":
             status = _run_goldens(args, engine)
+        elif args.experiment == "timing" and args.write:
+            # Re-pin the timing golden (the dedicated 3-point VGG-16 sweep),
+            # mirroring `goldens --write`.
+            from repro.analysis.timing_report import (
+                timing_golden_path,
+                write_timing_golden,
+            )
+
+            path = write_timing_golden(
+                timing_golden_path(args.goldens_dir) if args.goldens_dir else None
+            )
+            print(f"wrote {path}")
         elif args.experiment == "all":
             # The canonical paper order from the registry; 'goldens' keeps
             # its dedicated subcommand instead of riding along here.
@@ -322,6 +347,9 @@ def _dispatch(name: str, args, layers, engine) -> None:
             params["budget_kib"] = args.budget
         if args.objectives:
             params["objectives"] = list(args.objectives)
+    elif name == "timing":
+        if args.bandwidths:
+            params["bandwidths_gbps"] = list(args.bandwidths)
     context = ExperimentContext(
         workload=args.workload, layers=layers, engine=engine, params=params
     )

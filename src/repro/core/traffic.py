@@ -8,10 +8,42 @@ how many words of outputs (or partial sums) are read and written.  Words are
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 
 BYTES_PER_WORD = 2
 """The paper uses 16-bit fixed-point arithmetic throughout."""
+
+
+def bytes_per_cycle_fraction(bandwidth_bytes_per_s, clock_hz) -> Fraction:
+    """Exact DRAM bytes-per-cycle as a :class:`~fractions.Fraction`.
+
+    Cycle counts must stay exact integers end-to-end (the timing simulator's
+    bit-identity proofs depend on it), so the bandwidth/clock ratio is kept
+    rational instead of a float: ``6.4e9 / 500e6`` becomes ``Fraction(64, 5)``
+    and every transfer duration is an exact ceiling division.  ``math.inf``
+    passes through unchanged and means "transfers are free".
+    """
+    if bandwidth_bytes_per_s == math.inf:
+        return math.inf
+    if not bandwidth_bytes_per_s > 0:
+        raise ValueError(
+            f"DRAM bandwidth must be positive, got {bandwidth_bytes_per_s!r}"
+        )
+    return Fraction(bandwidth_bytes_per_s) / Fraction(clock_hz)
+
+
+def cycles_for_bytes(nbytes: int, bytes_per_cycle) -> int:
+    """Exact ``ceil(nbytes / bytes_per_cycle)`` as an ``int``.
+
+    ``bytes_per_cycle`` is a :func:`bytes_per_cycle_fraction` result; zero
+    bytes or infinite bandwidth take zero cycles.
+    """
+    if nbytes <= 0 or bytes_per_cycle == math.inf:
+        return 0
+    ratio = Fraction(nbytes) / bytes_per_cycle
+    return -(-ratio.numerator // ratio.denominator)
 
 
 @dataclass(frozen=True)

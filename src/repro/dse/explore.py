@@ -140,6 +140,7 @@ def design_space_exploration(
     ]
     per_family = co_search_families(engine, layers, families)
 
+    include_stall_time = "stall_time" in objectives
     rows = []
     infeasible = 0
     for config in sliced:
@@ -151,6 +152,20 @@ def design_space_exploration(
         dataflow_wins = {}
         for dataflow_name, _ in searched:
             dataflow_wins[dataflow_name] = dataflow_wins.get(dataflow_name, 0) + 1
+        try:
+            scored = config_objectives(
+                config,
+                layers,
+                [traffic for _, traffic in searched],
+                include_stall_time=include_stall_time,
+            )
+        except ValueError:
+            # The stall-aware objective runs the tile-level simulator with
+            # the accelerator's own tiling search, which is stricter than
+            # the family co-search (per-PE Psum fit, PE-aligned candidates);
+            # a config whose memories fit no tiling is simply infeasible.
+            infeasible += 1
+            continue
         rows.append(
             {
                 "config": config.name,
@@ -163,9 +178,7 @@ def design_space_exploration(
                 "psum_words": config.psum_words,
                 "effective_kib": config.effective_on_chip_kib,
                 "dataflows": dict(sorted(dataflow_wins.items())),
-                "objectives": config_objectives(
-                    config, layers, [traffic for _, traffic in searched]
-                ),
+                "objectives": scored,
             }
         )
 

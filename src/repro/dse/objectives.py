@@ -82,18 +82,40 @@ def estimate_counts(layers, per_layer_traffic) -> dict:
     }
 
 
+def stall_aware_time_ms(config: AcceleratorConfig, layers, dram: DramModel) -> float:
+    """Stall-aware latency from the tile-level timing simulator, in ms.
+
+    Runs the double-buffered per-tile simulator (:mod:`repro.timing`) at
+    the DRAM model's peak bandwidth with the accelerator's own tiling
+    choice, so the objective reflects fill/steady/drain stalls the
+    first-order ``max(compute, transfer)`` estimate cannot see.  Raises
+    ``ValueError`` when no tiling of some layer fits the config's memories
+    (the DSE counts such configs as infeasible).  One full simulation per
+    candidate config: far costlier than the first-order trio, which is why
+    the ``stall_time`` objective is opt-in.
+    """
+    from repro.timing import TimingSimulator
+
+    simulator = TimingSimulator(config, dram.peak_bandwidth_bytes_per_s)
+    network = simulator.run_network(layers)
+    return network.total_cycles / config.clock_hz * 1e3
+
+
 def config_objectives(
     config: AcceleratorConfig,
     layers,
     per_layer_traffic,
     energy_model: EnergyModel = None,
+    include_stall_time: bool = False,
 ) -> dict:
     """The DSE objective vector of one config on one workload.
 
     ``per_layer_traffic`` is the co-searched best
     :class:`~repro.core.traffic.TrafficBreakdown` per layer.  Returns the
     three minimised objectives plus the derived quantities a frontier reader
-    wants alongside them.
+    wants alongside them; ``include_stall_time`` adds the tile-level
+    simulator's stall-aware latency (may raise ``ValueError`` for configs
+    whose memories fit no tiling).
     """
     if energy_model is None:
         energy_model = EnergyModel()
@@ -103,10 +125,13 @@ def config_objectives(
         config, total_cycles=cycles.total_cycles, **counts
     )
     report = performance_report(cycles, config, breakdown)
-    return {
+    objectives = {
         "dram": counts["dram_words"] * BYTES_PER_WORD / (1024.0 ** 3),
         "energy": breakdown.pj_per_mac,
         "time": report.total_seconds * 1e3,
         "power_watts": report.power_watts,
         "waiting_fraction": report.waiting_fraction,
     }
+    if include_stall_time:
+        objectives["stall_time"] = stall_aware_time_ms(config, layers, energy_model.dram)
+    return objectives

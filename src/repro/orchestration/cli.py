@@ -107,9 +107,18 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
     spec_parent.add_argument(
         "--objectives",
         nargs="+",
-        choices=["dram", "energy", "time"],
+        choices=["dram", "energy", "time", "stall_time"],
         default=None,
-        help="dse Pareto objectives override (default: all three)",
+        help="dse Pareto objectives override (default: dram/energy/time; "
+        "'stall_time' adds the tile-level simulator's stall-aware latency)",
+    )
+    spec_parent.add_argument(
+        "--bandwidths",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="GBPS",
+        help="timing experiment bandwidth sweep override (GB/s)",
     )
     spec_parent.add_argument(
         "--dse-slices",
@@ -258,6 +267,14 @@ def _build_spec(args) -> ManifestSpec:
         params["fig13"] = {"capacities_kib": list(args.capacities)}
     if args.capacity is not None:
         params["fig14"] = {"capacity_kib": args.capacity}
+    if args.bandwidths is not None:
+        if "timing" not in experiments:
+            raise ValueError(
+                "--bandwidths configures the 'timing' experiment, which is "
+                "not in this run's --experiments list; add 'timing' to "
+                "--experiments"
+            )
+        params["timing"] = {"bandwidths_gbps": list(args.bandwidths)}
     dse_overrides = {}
     if args.budget is not None:
         dse_overrides["budget_kib"] = args.budget

@@ -85,6 +85,7 @@ def load_experiments() -> None:
     import repro.analysis.goldens  # noqa: F401
     import repro.analysis.performance_report  # noqa: F401
     import repro.analysis.sweep  # noqa: F401
+    import repro.analysis.timing_report  # noqa: F401  (tile-level timing sweeps)
     import repro.analysis.utilization_report  # noqa: F401
     import repro.dse.explore  # noqa: F401  (the hardware design-space sweep)
 
@@ -131,6 +132,7 @@ PAPER_EXPERIMENTS = (
     "fig18",
     "fig19",
     "fig20",
+    "timing",
     "goldens",
 )
 

@@ -199,7 +199,10 @@ def diff_merged_goldens(merged_dir: str, goldens_dir: str) -> dict:
 
     Returns ``{workload: [problems]}`` (empty list means the workload
     matches); a manifest ``goldens`` unit with no artifact or no pinned file
-    is itself a problem.
+    is itself a problem.  Merged ``timing`` units whose workload and
+    parameters match the pinned timing golden are diffed too (reported
+    under ``"timing:<workload>"``), so the nightly full reproduction also
+    gates the tile-level timing simulator's numbers.
     """
     manifest_path = os.path.join(merged_dir, MANIFEST_FILENAME)
     with open(manifest_path) as handle:
@@ -251,7 +254,59 @@ def diff_merged_goldens(merged_dir: str, goldens_dir: str) -> dict:
             problems.append(f"{prefix}pinned file {pinned_path} is not valid JSON: {error}")
             continue
         problems.extend(prefix + problem for problem in diff_goldens(expected, actual))
+    _diff_timing_units(manifest_document, merged_dir, goldens_dir, report)
     return report
+
+
+def _diff_timing_units(manifest_document, merged_dir, goldens_dir, report) -> None:
+    """Diff merged ``timing`` units against the pinned timing golden.
+
+    Only units whose workload *and* parameters match the pinned sweep are
+    comparable; other timing units (custom bandwidth grids, other
+    workloads) are not pinned and pass through undiffed.  Unlike the
+    ``goldens`` experiment, absence is not an error: the timing experiment
+    is optional in trimmed run specs.
+    """
+    from repro.analysis.timing_report import (
+        TIMING_GOLDEN_PARAMS,
+        TIMING_GOLDEN_WORKLOAD,
+        timing_golden_path,
+    )
+
+    pinned_params = json.loads(json.dumps(TIMING_GOLDEN_PARAMS))
+    units = [
+        unit
+        for unit in manifest_document["units"]
+        if unit["experiment"] == "timing"
+        and unit["workload"] == TIMING_GOLDEN_WORKLOAD
+        and unit["params"] == pinned_params
+    ]
+    if not units:
+        return
+    key = f"timing:{TIMING_GOLDEN_WORKLOAD}"
+    problems = report.setdefault(key, [])
+    pinned_path = timing_golden_path(goldens_dir)
+    for unit in units:
+        artifact_path = os.path.join(merged_dir, UNITS_DIRNAME, unit["unit_id"] + ".json")
+        if not os.path.exists(artifact_path):
+            problems.append(f"timing unit {unit['unit_id']} was never computed")
+            continue
+        if not os.path.exists(pinned_path):
+            problems.append(f"no pinned timing golden at {pinned_path}")
+            continue
+        try:
+            with open(artifact_path) as handle:
+                actual = json.load(handle)["payload"]
+        except (ValueError, KeyError) as error:
+            problems.append(f"artifact {unit['unit_id']}.json is unreadable: {error!r}")
+            continue
+        try:
+            with open(pinned_path) as handle:
+                expected = json.load(handle)
+        except ValueError as error:
+            problems.append(f"pinned file {pinned_path} is not valid JSON: {error}")
+            continue
+        problems.extend(diff_goldens(expected, actual))
 
 
 # ------------------------------------------------------------------- summary

@@ -249,6 +249,58 @@ class TestObjectives:
         assert counts["dram_words"] == sum(t.total for t in traffic)
 
 
+class TestStallTimeObjective:
+    """The opt-in ``stall_time`` objective from the timing simulator."""
+
+    def test_validate_accepts_and_orders_stall_time(self):
+        assert validate_objectives(("stall_time", "dram")) == ("dram", "stall_time")
+        with pytest.raises(ValueError, match="unknown objectives"):
+            validate_objectives(("stall_time", "latency"))
+
+    def test_stall_time_is_opt_in(self):
+        config = paper_implementation(1)
+        layers = get_workload_spec("tiny")
+        engine = SearchEngine()
+        traffic = [
+            engine.found_minimum(layer, config.effective_on_chip_words).traffic
+            for layer in layers
+        ]
+        default = config_objectives(config, layers, traffic)
+        assert "stall_time" not in default
+        scored = config_objectives(config, layers, traffic, include_stall_time=True)
+        assert scored["stall_time"] > 0
+        # The simulated latency can never beat the MAC-bound compute floor.
+        from repro.core.layer import ceil_div
+
+        compute_ms = (
+            sum(ceil_div(layer.macs, config.num_pes) for layer in layers)
+            / config.clock_hz
+            * 1e3
+        )
+        assert scored["stall_time"] >= compute_ms
+
+    def test_sweep_with_stall_time_objective(self):
+        payload = design_space_exploration(
+            budget_kib=TINY_BUDGET_KIB,
+            layers="tiny",
+            engine=SearchEngine(),
+            objectives=("time", "stall_time"),
+            max_configs=6,
+        )
+        assert payload["objectives"] == ["time", "stall_time"]
+        assert payload["configs"], "no feasible configs scored"
+        from repro.core.layer import ceil_div
+
+        layers = get_workload_spec("tiny")
+        for row in payload["configs"]:
+            # The simulated latency respects each config's MAC-bound floor.
+            floor_cycles = sum(
+                ceil_div(layer.macs, row["num_pes"]) for layer in layers
+            )
+            assert row["objectives"]["stall_time"] * 1e-3 >= floor_cycles / 500e6
+        assert payload["frontier"]
+
+
 # --------------------------------------------------------------------- explore
 
 

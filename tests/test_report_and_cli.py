@@ -238,3 +238,16 @@ class TestCliGoldens:
         captured = capsys.readouterr()
         assert "missing" in captured.out
         assert "goldens --write" in captured.err
+
+
+class TestCliTiming:
+    def test_timing_subcommand_renders_sweep(self, capsys):
+        assert main(["timing", "--workload", "tiny", "--bandwidths", "3.2", "6.4"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth-limited utilization sweep" in out
+        assert "implementation-5" in out
+        assert "steady_breakeven_gbps" in out
+
+    def test_timing_rejects_nonpositive_bandwidths(self, capsys):
+        assert main(["timing", "--workload", "tiny", "--bandwidths", "0"]) == 2
+        assert "bandwidths must be positive" in capsys.readouterr().err

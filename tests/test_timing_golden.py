@@ -1,0 +1,89 @@
+"""Golden-value regression for the pinned timing sweep.
+
+``tests/goldens/timing_vgg16.json`` pins the default 3-point bandwidth
+sweep (3.2 / 6.4 / 12.8 GB/s, all five Table I implementations, VGG-16):
+every per-buffer stall count, utilization, achieved bandwidth and power
+number, at 1e-9 relative tolerance.  Any change that moves a timing number
+becomes a visible diff; after an *intentional* model change regenerate
+with::
+
+    PYTHONPATH=src python -m repro.cli timing --write
+
+and review the JSON diff like any other code change.  The integer cycle
+fields are compared exactly (``diff_goldens`` only tolerates float noise),
+so the golden also re-proves the simulator's exact-arithmetic claim on a
+real workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.goldens import diff_goldens
+from repro.analysis.timing_report import (
+    DEFAULT_BANDWIDTHS_GBPS,
+    TIMING_GOLDEN_PARAMS,
+    TIMING_GOLDEN_WORKLOAD,
+    bandwidth_utilization_sweep,
+    compute_timing_golden,
+    timing_golden_path,
+    write_timing_golden,
+)
+from repro.arch.config import PAPER_IMPLEMENTATIONS
+
+
+def test_pinned_file_exists():
+    assert os.path.exists(timing_golden_path()), (
+        "regenerate with: PYTHONPATH=src python -m repro.cli timing --write"
+    )
+
+
+def test_timing_sweep_matches_pinned_golden():
+    with open(timing_golden_path()) as handle:
+        expected = json.load(handle)
+    actual = compute_timing_golden()
+    problems = diff_goldens(expected, actual)
+    assert problems == [], "\n".join(problems[:20])
+
+
+def test_golden_parameters_pin_the_paper_neighbourhood():
+    """The pinned sweep must keep bracketing the paper's 6.4 GB/s interface
+    and covering every Table I implementation."""
+    assert TIMING_GOLDEN_PARAMS["bandwidths_gbps"] == list(DEFAULT_BANDWIDTHS_GBPS)
+    assert 6.4 in TIMING_GOLDEN_PARAMS["bandwidths_gbps"]
+    assert TIMING_GOLDEN_PARAMS["implementations"] is None
+    assert TIMING_GOLDEN_WORKLOAD == "vgg16"
+    with open(timing_golden_path()) as handle:
+        pinned = json.load(handle)
+    assert pinned["implementations"] == [
+        config.name for config in PAPER_IMPLEMENTATIONS
+    ]
+    assert len(pinned["rows"]) == len(PAPER_IMPLEMENTATIONS) * len(
+        DEFAULT_BANDWIDTHS_GBPS
+    )
+
+
+def test_write_golden_round_trips(tmp_path):
+    path = write_timing_golden(str(tmp_path / "timing_vgg16.json"))
+    with open(path) as handle:
+        written = json.load(handle)
+    assert diff_goldens(written, compute_timing_golden()) == []
+
+
+def test_sweep_rejects_nonpositive_bandwidths():
+    with pytest.raises(ValueError, match="bandwidths must be positive"):
+        bandwidth_utilization_sweep(layers="tiny", bandwidths_gbps=[3.2, 0.0])
+
+
+def test_sweep_implementation_indices_resolve():
+    payload = bandwidth_utilization_sweep(
+        layers="tiny", bandwidths_gbps=[6.4], implementations=[1, 5]
+    )
+    assert payload["implementations"] == ["implementation-1", "implementation-5"]
+    assert [row["implementation"] for row in payload["rows"]] == [
+        "implementation-1",
+        "implementation-5",
+    ]
