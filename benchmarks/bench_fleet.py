@@ -1,0 +1,147 @@
+"""Fleet-vs-static wall-clock benchmark; the scheduler's CI sanity gate.
+
+Runs the same small manifest three ways with real worker processes:
+
+* ``static 2-shard`` -- two ``run --shard K/2`` subprocesses in parallel,
+  the pre-fleet deployment model (static partition, no stealing);
+* ``fleet 2 workers`` -- one shared queue, late binding;
+* ``fleet 3 workers, 1 SIGKILLed`` -- fault injection via ``--chaos-kill``:
+  worker 0 kills itself *holding a claim*, and the survivors must steal
+  the unit after its ``--lease-seconds`` lease expires.
+
+Prints the wall-clock table (the EXPERIMENTS.md numbers; run with ``-s``)
+and gates on the qualitative contract rather than exact timings, which CI
+runners cannot hold steady:
+
+* every scenario's ``units/`` tree is byte-identical to the others;
+* the killed-worker fleet *completes* (self-healing) and records at least
+  one lease steal in its report;
+* the healthy fleet is not pathologically slower than static shards (a
+  loose 4x bound -- queue overhead is milliseconds per unit, so only an
+  order-of-magnitude regression, e.g. a serialized queue, can trip it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from conftest import _SRC, run_once  # noqa: F401 - path side effect, helper
+
+#: One deliberately heavy unit (the fig13 capacity sweep) next to cheap
+#: ones: the shape where a static partition can straggle on whichever
+#: shard drew the heavy unit, and a queue load-balances automatically.
+SPEC = [
+    "--workloads", "tiny",
+    "--experiments", "fig13", "fig14", "fig16", "table4", "goldens",
+    "--capacities", "8", "16", "24", "33.25",
+]
+
+FLEET_SLOWDOWN_CEILING = 4.0
+
+
+def _cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _wait_all(processes):
+    for process in processes:
+        output, _ = process.communicate(timeout=600)
+        assert process.returncode == 0, output.decode()
+
+
+def _units_tree(out_dir):
+    tree = {}
+    units_dir = os.path.join(out_dir, "units")
+    for name in sorted(os.listdir(units_dir)):
+        with open(os.path.join(units_dir, name), "rb") as handle:
+            tree[name] = handle.read()
+    return tree
+
+
+def _run_static_shards(root):
+    dirs = [os.path.join(root, f"shard-{index}") for index in (1, 2)]
+    started = time.perf_counter()
+    _wait_all([
+        _cli("run", "--out-dir", out_dir, "--shard", f"{index}/2", *SPEC)
+        for index, out_dir in enumerate(dirs, start=1)
+    ])
+    elapsed = time.perf_counter() - started
+    merged = os.path.join(root, "static-merged")
+    _wait_all([_cli("merge", *dirs, "--out-dir", merged)])
+    return elapsed, merged
+
+
+def _run_fleet(root, name, *extra):
+    out_dir = os.path.join(root, name)
+    started = time.perf_counter()
+    process = _cli("fleet", "--out-dir", out_dir, "--json", *SPEC, *extra)
+    output, _ = process.communicate(timeout=600)
+    elapsed = time.perf_counter() - started
+    assert process.returncode == 0, output.decode()
+    report = json.loads(output.decode())
+    return elapsed, out_dir, report
+
+
+def test_fleet_matches_static_and_heals_from_kills(benchmark):
+    def scenario():
+        with tempfile.TemporaryDirectory() as root:
+            static_s, static_dir = _run_static_shards(root)
+            fleet_s, fleet_dir, fleet_report = _run_fleet(
+                root, "fleet", "--fleet-workers", "2"
+            )
+            chaos_s, chaos_dir, chaos_report = _run_fleet(
+                root, "fleet-chaos",
+                "--fleet-workers", "3",
+                "--chaos-kill", "0:0",
+                "--lease-seconds", "2",
+            )
+            return {
+                "static_s": static_s,
+                "fleet_s": fleet_s,
+                "chaos_s": chaos_s,
+                "trees": [
+                    _units_tree(static_dir),
+                    _units_tree(fleet_dir),
+                    _units_tree(chaos_dir),
+                ],
+                "fleet_report": fleet_report,
+                "chaos_report": chaos_report,
+            }
+
+    result = run_once(benchmark, scenario)
+
+    print("\nfleet vs static wall-clock (one machine, tiny workload)")
+    print(f"{'scenario':<38}{'wall-clock':>12}")
+    rows = [
+        ("static 2-shard (parallel processes)", result["static_s"]),
+        ("fleet, 2 workers", result["fleet_s"]),
+        ("fleet, 3 workers, 1 SIGKILLed", result["chaos_s"]),
+    ]
+    for label, seconds in rows:
+        print(f"{label:<38}{seconds:>10.2f} s")
+
+    static_tree, fleet_tree, chaos_tree = result["trees"]
+    assert fleet_tree == static_tree
+    assert chaos_tree == static_tree
+    fleet_report, chaos_report = result["fleet_report"], result["chaos_report"]
+    assert fleet_report["units_failed"] == 0
+    assert fleet_report["audit_problems"] == []
+    # Self-healing: the kill cost one lease timeout, not the run.
+    assert chaos_report["units_pending"] == 0
+    assert chaos_report["units_failed"] == 0
+    assert chaos_report["stolen_claims"] >= 1
+    assert chaos_report["worker_exit_codes"][0] == -9
+    assert chaos_report["audit_problems"] == []
+    assert result["fleet_s"] <= result["static_s"] * FLEET_SLOWDOWN_CEILING

@@ -82,7 +82,14 @@ from repro.workloads.registry import (
 
 #: Subcommands handled by the orchestration CLI (sharded runs, merge,
 #: cross-artifact frontier merges).
-ORCHESTRATION_COMMANDS = ("run", "resume", "merge", "reproduce-all", "frontier")
+ORCHESTRATION_COMMANDS = (
+    "run",
+    "fleet",
+    "resume",
+    "merge",
+    "reproduce-all",
+    "frontier",
+)
 
 #: Subcommand handled by the server CLI (the long-lived search daemon).
 SERVE_COMMAND = "serve"

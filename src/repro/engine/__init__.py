@@ -17,6 +17,7 @@ from repro.engine.cache import (
     SearchCache,
     SqliteStore,
     dataflow_signature,
+    fleet_cache_filename,
     layer_signature,
     migrate_cache,
     resolve_store,
@@ -54,6 +55,7 @@ __all__ = [
     "SearchEngine",
     "SqliteStore",
     "dataflow_signature",
+    "fleet_cache_filename",
     "get_default_engine",
     "layer_signature",
     "migrate_cache",

@@ -123,6 +123,31 @@ def shard_cache_filename(
     return f"search-{backend}-shard{shard_index}of{shard_count}.{extension}"
 
 
+def fleet_cache_filename(
+    backend: str, worker_index: int = None, store: str = "sqlite"
+) -> str:
+    """Cache file name for the workers of a fleet run.
+
+    Fleet workers claim units late, so no worker knows its unit set up
+    front and the shard-scoped naming of :func:`shard_cache_filename` does
+    not apply.  With ``store="sqlite"`` (the fleet default) every worker
+    shares **one** multi-writer file -- the :class:`SqliteStore` is
+    process-safe and a search any worker finished warms all of them.  With
+    ``store="pickle"`` each worker needs its own file (``worker_index``
+    required): a pickle save rewrites the whole payload, so sharing one
+    would silently drop the other workers' entries on every checkpoint.
+    """
+    if store not in ("pickle", "sqlite"):
+        raise ValueError(f"store must be 'pickle' or 'sqlite', got {store!r}")
+    if store == "sqlite":
+        return f"search-{backend}-fleet.sqlite"
+    if worker_index is None:
+        raise ValueError(
+            "pickle fleet caches are per-worker; pass worker_index"
+        )
+    return f"search-{backend}-fleet-worker{worker_index:03d}.pkl"
+
+
 def _code_version() -> str:
     # Imported lazily: repro/__init__ imports repro.engine, so a top-level
     # import here would be circular.

@@ -6,14 +6,18 @@ point (:mod:`repro.cli`)::
     repro-experiments reproduce-all --out-dir out/full --shard 1/4
     repro-experiments run --out-dir out/tiny --workloads tiny \\
         --experiments fig13 fig16 --capacities 16 66.5
+    repro-experiments fleet --out-dir out/fleet --fleet-workers 4
     repro-experiments resume --out-dir out/full          # zero recomputation
     repro-experiments merge out/shard-* --out-dir out/merged \\
         --diff-goldens tests/goldens --summary-file "$GITHUB_STEP_SUMMARY"
     repro-experiments frontier out/merged                # merged DSE frontier
 
 ``run``/``reproduce-all`` execute one shard of the manifest expanded from
-the given spec; ``resume`` re-executes the shard recorded in the out-dir's
-``run.json``, skipping every completed unit; ``merge`` unions shard trees,
+the given spec; ``fleet`` runs the *whole* manifest with N local worker
+processes draining one shared work queue (a dead or straggling worker's
+units are stolen after its lease expires); ``resume`` re-executes the run
+recorded in the out-dir's ``run.json`` -- static shard or fleet alike --
+skipping every completed unit; ``merge`` unions shard trees,
 verifies bit-identity and completeness, optionally diffs the golden units
 against the pinned regression files, and can append a markdown summary for
 CI job pages; ``frontier`` merges the ``dse`` units' Pareto frontiers into
@@ -30,6 +34,7 @@ import sys
 from repro.orchestration.experiments import (
     PAPER_EXPERIMENTS,
     experiment_names,
+    get_experiment,
     resolve_experiment_name,
 )
 from repro.orchestration.manifest import (
@@ -43,7 +48,16 @@ from repro.orchestration.merge import (
     merge_runs,
     summary_markdown,
 )
+from repro.orchestration.fleet import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_POLL_SECONDS,
+    FleetConfig,
+    load_fleet_config,
+    read_fleet_mode,
+    run_fleet,
+)
 from repro.orchestration.runner import Runner, load_run_metadata
+from repro.orchestration.scheduler import POLICIES
 from repro.workloads.registry import UnknownWorkloadError
 
 
@@ -183,26 +197,121 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         "golden workloads)",
     )
 
+    fleet = commands.add_parser(
+        "fleet",
+        parents=[spec_parent],
+        help="run the whole manifest with N worker processes sharing one "
+        "work queue (lease-based work stealing beats static shards on "
+        "stragglers and crashes)",
+    )
+    # Fleet workers share one SQLite search cache; the pickle store would
+    # silently drop peers' entries on every checkpoint.
+    fleet.set_defaults(cache_store="sqlite")
+    fleet.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes draining the queue (default 2); distinct "
+        "from --workers, the search parallelism *inside* each worker",
+    )
+    fleet.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help="claim lease duration; a worker silent this long loses its "
+        f"unit to a live peer (default {DEFAULT_LEASE_SECONDS:g})",
+    )
+    fleet.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=DEFAULT_POLL_SECONDS,
+        help="idle worker's queue re-poll interval "
+        f"(default {DEFAULT_POLL_SECONDS:g})",
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=list(POLICIES),
+        default="fifo",
+        help="claim order: manifest hash order (fifo), --priority ranks "
+        "(priority), or earliest --due deadline first (edd)",
+    )
+    fleet.add_argument(
+        "--priority",
+        action="append",
+        default=None,
+        metavar="EXPERIMENT=P",
+        help="priority rank for one experiment's units (higher runs "
+        "sooner under --policy priority; repeatable; default 0)",
+    )
+    fleet.add_argument(
+        "--due",
+        action="append",
+        default=None,
+        metavar="EXPERIMENT=SECONDS",
+        help="deadline for one experiment's units, seconds from fleet "
+        "start (orders claims under --policy edd; repeatable)",
+    )
+    fleet.add_argument(
+        "--unit-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N units this invocation, deferring the "
+        "lowest-ranked rest (a later resume picks them up)",
+    )
+    fleet.add_argument(
+        "--chaos-kill",
+        action="append",
+        default=None,
+        metavar="W:K",
+        help="fault injection for tests/CI: worker W SIGKILLs itself "
+        "when claiming its next unit after K completions (repeatable)",
+    )
+
     resume = commands.add_parser(
         "resume",
-        help="re-execute the shard recorded in --out-dir, skipping every "
-        "completed unit (zero recomputation)",
+        help="re-execute the run recorded in --out-dir (static shard or "
+        "fleet), skipping every completed unit (zero recomputation)",
     )
     resume.add_argument("--out-dir", required=True)
     resume.add_argument(
         "--shard",
         default=None,
         metavar="K/N",
-        help="override the recorded shard (default: the one in run.json)",
+        help="override the recorded shard (static runs only; default: the "
+        "one in run.json)",
     )
     resume.add_argument("--workers", type=int, default=None)
     resume.add_argument("--max-units", type=int, default=None)
     resume.add_argument(
         "--cache-store",
         choices=["pickle", "sqlite"],
-        default="pickle",
-        help="persistence backend for the per-shard search caches "
-        "(match what the original run used to reuse its cache files)",
+        default=None,
+        help="persistence backend for the search caches (default: what "
+        "the original run recorded -- fleet runs record sqlite; static "
+        "runs default to pickle)",
+    )
+    resume.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet runs only: override the recorded worker-process count",
+    )
+    resume.add_argument(
+        "--unit-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet runs only: override the recorded per-invocation unit "
+        "budget",
+    )
+    resume.add_argument(
+        "--no-unit-budget",
+        action="store_true",
+        help="fleet runs only: drop the recorded budget and run every "
+        "deferred unit",
     )
     resume.add_argument("--json", action="store_true")
 
@@ -334,16 +443,140 @@ def _cmd_run(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_experiment_values(pairs, flag: str, value_type) -> dict:
+    """``EXPERIMENT=VALUE`` pairs -> {resolved experiment name: value}."""
+    values = {}
+    for pair in pairs or []:
+        name, separator, raw = pair.partition("=")
+        if not separator or not name or not raw:
+            raise ValueError(f"{flag} takes EXPERIMENT=VALUE, got {pair!r}")
+        try:
+            value = value_type(raw)
+        except ValueError:
+            raise ValueError(
+                f"{flag} value for {name!r} must be a number, got {raw!r}"
+            ) from None
+        resolved = resolve_experiment_name(name)
+        get_experiment(resolved)  # unknown names are an operator mistake
+        values[resolved] = value
+    return values
+
+
+def _parse_chaos_kills(pairs) -> dict:
+    """``W:K`` pairs -> {worker index: completions before the self-kill}."""
+    kills = {}
+    for pair in pairs or []:
+        worker, separator, count = pair.partition(":")
+        try:
+            if not separator:
+                raise ValueError(pair)
+            kills[int(worker)] = int(count)
+        except ValueError:
+            raise ValueError(
+                f"--chaos-kill takes WORKER:COMPLETIONS (two integers), "
+                f"got {pair!r}"
+            ) from None
+    return kills
+
+
+def _cmd_fleet(args) -> int:
+    if args.list_experiments:
+        for name in experiment_names():
+            print(name)
+        return 0
+    if not args.out_dir:
+        raise ValueError("--out-dir is required (or pass --list-experiments)")
+    if args.shard != "1/1":
+        raise ValueError(
+            "'fleet' always runs the whole manifest -- the workers "
+            "partition it dynamically; drop --shard"
+        )
+    if args.max_units is not None:
+        raise ValueError(
+            "'fleet' timeboxes with --unit-budget (deterministic deferral), "
+            "not --max-units"
+        )
+    manifest = RunManifest.from_spec(_build_spec(args))
+    config = FleetConfig(
+        workers=args.fleet_workers,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        policy=args.policy,
+        unit_budget=args.unit_budget,
+        priorities=_parse_experiment_values(args.priority, "--priority", int),
+        deadlines=_parse_experiment_values(args.due, "--due", float),
+        cache_store=args.cache_store,
+        search_workers=args.workers,
+    )
+    report = run_fleet(
+        manifest,
+        args.out_dir,
+        config,
+        chaos_kills=_parse_chaos_kills(args.chaos_kill),
+        resume=not args.force,
+    )
+    _emit_report(report, args.json)
+    return 0 if report.complete else 1
+
+
+def _resume_fleet(args, metadata, manifest) -> int:
+    if args.shard:
+        raise ValueError(
+            f"{args.out_dir} was produced by 'fleet'; it has no static "
+            "shard to override (drop --shard)"
+        )
+    if args.max_units is not None:
+        raise ValueError(
+            "fleet runs timebox with --unit-budget, not --max-units"
+        )
+    config = load_fleet_config(metadata)
+    overrides = {}
+    if args.fleet_workers is not None:
+        overrides["workers"] = args.fleet_workers
+    if args.workers is not None:
+        overrides["search_workers"] = args.workers
+    if args.cache_store is not None:
+        overrides["cache_store"] = args.cache_store
+    if args.no_unit_budget:
+        overrides["unit_budget"] = None
+    elif args.unit_budget is not None:
+        overrides["unit_budget"] = args.unit_budget
+    config = FleetConfig.from_dict(dict(config.as_dict(), **overrides))
+    from repro.engine import resolve_workers
+
+    resolve_workers(config.search_workers)
+    report = run_fleet(manifest, args.out_dir, config)
+    _emit_report(report, args.json)
+    return 0 if report.complete else 1
+
+
 def _cmd_resume(args) -> int:
     metadata = load_run_metadata(args.out_dir)
     manifest = RunManifest.from_spec(ManifestSpec.from_dict(metadata["spec"]))
+    if read_fleet_mode(metadata):
+        # A fleet out-dir resumes as a fleet: same artifact tree, the
+        # recorded fleet configuration, completed units pre-completed.
+        return _resume_fleet(args, metadata, manifest)
+    for flag, value in (
+        ("--fleet-workers", args.fleet_workers),
+        ("--unit-budget", args.unit_budget),
+        ("--no-unit-budget", args.no_unit_budget or None),
+    ):
+        if value is not None:
+            raise ValueError(
+                f"{flag} applies to fleet runs; {args.out_dir} records a "
+                "static shard run"
+            )
     shard = parse_shard(args.shard) if args.shard else tuple(metadata["shard"])
     workers = args.workers if args.workers is not None else metadata.get("workers", 1)
     from repro.engine import resolve_workers
 
     resolve_workers(workers)
     runner = Runner(
-        manifest, args.out_dir, workers=workers, cache_store=args.cache_store
+        manifest,
+        args.out_dir,
+        workers=workers,
+        cache_store=args.cache_store or "pickle",
     )
     report = runner.run(shard=shard, resume=True, max_units=args.max_units)
     _emit_report(report, args.json)
@@ -407,6 +640,7 @@ def _cmd_frontier(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "reproduce-all": _cmd_run,
+    "fleet": _cmd_fleet,
     "resume": _cmd_resume,
     "merge": _cmd_merge,
     "frontier": _cmd_frontier,

@@ -28,6 +28,7 @@ from repro.orchestration.runner import (
     SHARDS_DIRNAME,
     UNITS_DIRNAME,
     dump_document,
+    unit_status_path,
     write_text_atomic,
 )
 
@@ -42,12 +43,13 @@ class MergeReport:
     missing: list = field(default_factory=list)
     conflicts: list = field(default_factory=list)
     unexpected: list = field(default_factory=list)
+    stale: list = field(default_factory=list)
     shard_reports: list = field(default_factory=list)
     engine_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return not (self.missing or self.conflicts or self.unexpected)
+        return not (self.missing or self.conflicts or self.unexpected or self.stale)
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +59,7 @@ class MergeReport:
             "missing": sorted(self.missing),
             "conflicts": sorted(self.conflicts),
             "unexpected": sorted(self.unexpected),
+            "stale": sorted(self.stale),
             "shard_reports": list(self.shard_reports),
             "engine_stats": dict(self.engine_stats),
             "ok": self.ok,
@@ -68,13 +71,30 @@ class MergeReport:
             f"merge: {state} -- {self.units_merged} units from "
             f"{len(self.shard_dirs)} shard trees ({self.units_duplicate} "
             f"duplicates verified, {len(self.missing)} missing, "
-            f"{len(self.conflicts)} conflicts, {len(self.unexpected)} unexpected)"
+            f"{len(self.conflicts)} conflicts, {len(self.unexpected)} "
+            f"unexpected, {len(self.stale)} stale)"
         )
 
 
 def _read_bytes(path: str) -> bytes:
     with open(path, "rb") as handle:
         return handle.read()
+
+
+def _completed_in(shard_dir: str, unit_id: str) -> bool:
+    """Does ``shard_dir``'s status say this unit's latest attempt completed?
+
+    An artifact file alone is not evidence of a current result: a
+    ``--force`` re-run whose latest attempt *failed* leaves the previous
+    success's artifact on disk next to a ``failed`` status, and archiving
+    it would silently resurrect the stale payload.  Only a parseable
+    ``completed`` status makes the copy mergeable.
+    """
+    try:
+        with open(unit_status_path(shard_dir, unit_id)) as handle:
+            return json.load(handle).get("state") == "completed"
+    except (OSError, ValueError):
+        return False
 
 
 def merge_runs(shard_dirs: list, out_dir: str) -> MergeReport:
@@ -124,6 +144,14 @@ def merge_runs(shard_dirs: list, out_dir: str) -> MergeReport:
     for shard_dir in shard_dirs:
         for path in sorted(glob.glob(os.path.join(shard_dir, UNITS_DIRNAME, "*.json"))):
             unit_id = os.path.splitext(os.path.basename(path))[0]
+            if not _completed_in(shard_dir, unit_id):
+                # A stale copy is reported by name and never merged (nor
+                # byte-compared -- it documents a *previous* attempt, so a
+                # mismatch with a current copy would be expected, not a
+                # conflict).  If no other shard holds a completed copy the
+                # unit also shows up in ``missing``.
+                report.stale.append(f"{unit_id} ({shard_dir})")
+                continue
             data = _read_bytes(path)
             if unit_id in merged:
                 report.units_duplicate += 1
@@ -325,6 +353,7 @@ def summary_markdown(report: MergeReport, goldens_report: dict = None) -> str:
                 ["missing units", len(report.missing)],
                 ["conflicting units", len(report.conflicts)],
                 ["unexpected units", len(report.unexpected)],
+                ["stale artifacts", len(report.stale)],
                 ["merge status", "✅ pass" if report.ok else "❌ fail"],
             ],
         )
@@ -360,4 +389,6 @@ def summary_markdown(report: MergeReport, goldens_report: dict = None) -> str:
         lines += ["", "Missing units: " + ", ".join(f"`{uid}`" for uid in report.missing[:10])]
     if report.conflicts:
         lines += ["", "Conflicting units: " + ", ".join(f"`{uid}`" for uid in report.conflicts[:10])]
+    if report.stale:
+        lines += ["", "Stale artifacts: " + ", ".join(f"`{uid}`" for uid in report.stale[:10])]
     return "\n".join(lines) + "\n"

@@ -785,3 +785,217 @@ class TestShardCacheBounds:
         report = Runner(manifest, out_dir).run()
         for stats in report.engine_stats.values():
             assert stats["cache_evictions"] == 0
+
+
+class TestAttemptReportRace:
+    """Regression: two report writers counting the same directory listing
+    used to pick the same attempt number and silently overwrite each other
+    (a resume racing a stalled original run lost the original's engine
+    stats).  Allocation is now exclusive: the loser retries the next number.
+    """
+
+    def test_stale_listing_never_overwrites(self, tmp_path, monkeypatch):
+        import glob as glob_module
+
+        from repro.orchestration import runner as runner_module
+
+        out_dir = str(tmp_path / "run")
+        first = runner_module.write_attempt_report(out_dir, "shard-1of1-attempt", {"n": 1})
+        # Freeze the directory listing both writers see to the pre-first
+        # state: the second writer recomputes attempt=1 (the collision the
+        # glob count used to turn into an overwrite) and must skip to 2.
+        monkeypatch.setattr(glob_module, "glob", lambda pattern: [])
+        second = runner_module.write_attempt_report(out_dir, "shard-1of1-attempt", {"n": 2})
+        assert first != second
+        with open(first) as handle:
+            assert json.load(handle) == {"n": 1, "attempt": 1}
+        with open(second) as handle:
+            assert json.load(handle) == {"n": 2, "attempt": 2}
+
+    def test_concurrent_writers_allocate_distinct_files(self, tmp_path):
+        import threading
+
+        from repro.orchestration.runner import write_attempt_report
+
+        out_dir = str(tmp_path / "run")
+        writers, reports_each = 4, 5
+        barrier = threading.Barrier(writers)
+        written = [[] for _ in range(writers)]
+
+        def write(index):
+            barrier.wait()
+            for n in range(reports_each):
+                written[index].append(
+                    write_attempt_report(
+                        out_dir, "shard-1of1-attempt", {"writer": index, "n": n}
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=write, args=(index,)) for index in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        paths = [path for per_writer in written for path in per_writer]
+        assert len(set(paths)) == writers * reports_each
+        assert sorted(os.listdir(os.path.join(out_dir, "shards"))) == sorted(
+            os.path.basename(path) for path in paths
+        )
+        for path in paths:  # every file is intact and self-consistent
+            with open(path) as handle:
+                document = json.load(handle)
+            assert path.endswith(f"{document['attempt']:03d}.json")
+
+
+class TestStaleArtifactMerge:
+    """Regression: ``merge_runs`` trusted any ``units/*.json`` file.  A
+    ``--force`` re-run whose latest attempt failed leaves the *previous*
+    success's artifact next to a ``failed`` status; merging it silently
+    resurrected the stale payload.  Merge now consults ``status/``.
+    """
+
+    def _fail_next_run(self, monkeypatch):
+        from repro.orchestration import runner as runner_module
+
+        def broken(name):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(runner_module, "get_experiment", broken)
+
+    def test_stale_artifact_is_reported_not_merged(self, tmp_path, monkeypatch):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        out_dir = str(tmp_path / "run")
+        ok = Runner(manifest, out_dir).run()
+        assert ok.complete
+        (unit_id,) = [unit.unit_id for unit in manifest.units]
+        # Forced re-run with an injected failure: the old artifact file
+        # survives on disk, but the status now says the attempt failed.
+        self._fail_next_run(monkeypatch)
+        forced = Runner(manifest, out_dir).run(resume=False)
+        assert forced.units_failed == 1
+        assert os.path.exists(unit_artifact_path(out_dir, unit_id))
+
+        merged_dir = str(tmp_path / "merged")
+        report = merge_runs([out_dir], merged_dir)
+        assert not report.ok
+        assert any(unit_id in entry for entry in report.stale)
+        assert unit_id in report.missing  # no completed copy anywhere
+        assert not os.path.exists(unit_artifact_path(merged_dir, unit_id))
+        assert "1 stale" in report.describe()
+        markdown = summary_markdown(report)
+        assert "stale artifacts" in markdown
+        assert unit_id in markdown
+
+    def test_completed_copy_in_another_shard_still_merges(
+        self, tmp_path, monkeypatch
+    ):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        good_dir = str(tmp_path / "good")
+        bad_dir = str(tmp_path / "bad")
+        assert Runner(manifest, good_dir).run().complete
+        assert Runner(manifest, bad_dir).run().complete
+        self._fail_next_run(monkeypatch)
+        assert Runner(manifest, bad_dir).run(resume=False).units_failed == 1
+
+        merged_dir = str(tmp_path / "merged")
+        report = merge_runs([good_dir, bad_dir], merged_dir)
+        # The stale copy is named, but the good shard completes the merge
+        # -- and the stale file is never byte-compared against the good
+        # one (a stale copy differing is expected, not a conflict).
+        assert report.stale and not report.missing and not report.conflicts
+        assert not report.ok
+        (unit_id,) = [unit.unit_id for unit in manifest.units]
+        assert os.path.exists(unit_artifact_path(merged_dir, unit_id))
+
+
+class TestTruncatedArtifacts:
+    """Regression: ``is_completed`` trusted any artifact *file*; a torn
+    write surviving a crash (pre-fsync) was skipped on resume and archived
+    by merge.  Unparseable artifacts now read as incomplete.
+    """
+
+    def test_truncated_artifact_is_recomputed_on_resume(self, tmp_path):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16", "table4"))
+        )
+        broken_dir = str(tmp_path / "broken")
+        clean_dir = str(tmp_path / "clean")
+        assert Runner(manifest, broken_dir).run().complete
+        assert Runner(manifest, clean_dir).run().complete
+
+        victim = manifest.units[0].unit_id
+        path = unit_artifact_path(broken_dir, victim)
+        with open(path) as handle:
+            torn = handle.read()[:17]  # mid-document: not valid JSON
+        with open(path, "w") as handle:
+            handle.write(torn)
+        runner = Runner(manifest, broken_dir)
+        assert not runner.is_completed(victim)
+
+        resumed = runner.run()
+        assert resumed.units_completed == 1  # exactly the torn unit
+        assert resumed.units_skipped == len(manifest) - 1
+        assert read_tree(broken_dir) == read_tree(clean_dir)
+
+    def test_unparseable_status_reads_as_incomplete(self, tmp_path):
+        manifest = RunManifest.from_spec(
+            ManifestSpec(workloads=("tiny",), experiments=("fig16",))
+        )
+        out_dir = str(tmp_path / "run")
+        assert Runner(manifest, out_dir).run().complete
+        (unit_id,) = [unit.unit_id for unit in manifest.units]
+        with open(unit_status_path(out_dir, unit_id), "w") as handle:
+            handle.write("{not json")
+        assert not Runner(manifest, out_dir).is_completed(unit_id)
+
+
+class TestRunMetadataValidation:
+    """Regression: a hand-edited ``"shard": ["1", "4"]`` in ``run.json``
+    passed the format check and exploded later as a TypeError traceback
+    inside the manifest arithmetic; it must exit 2 with one clean line.
+    """
+
+    def _run_tiny(self, tmp_path):
+        out_dir = str(tmp_path / "run")
+        assert main([
+            "run", "--out-dir", out_dir,
+            "--workloads", "tiny", "--experiments", "fig16",
+        ]) == 0
+        return out_dir
+
+    def _rewrite_shard(self, out_dir, shard):
+        path = os.path.join(out_dir, "run.json")
+        with open(path) as handle:
+            document = json.load(handle)
+        document["shard"] = shard
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+
+    @pytest.mark.parametrize(
+        "shard, message",
+        [
+            (["1", "4"], "must be positive integers"),
+            ([True, True], "must be positive integers"),
+            ([0, 4], "invalid shard"),
+            ([5, 4], "invalid shard"),
+        ],
+    )
+    def test_bad_recorded_shard_exits_2(self, tmp_path, capsys, shard, message):
+        out_dir = self._run_tiny(tmp_path)
+        capsys.readouterr()
+        self._rewrite_shard(out_dir, shard)
+        assert main(["resume", "--out-dir", out_dir]) == 2
+        err = capsys.readouterr().err
+        assert message in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_valid_recorded_shard_still_resumes(self, tmp_path, capsys):
+        out_dir = self._run_tiny(tmp_path)
+        assert main(["resume", "--out-dir", out_dir]) == 0
