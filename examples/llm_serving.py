@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Traffic-mix search quickstart: which dataflow serves an LLM mix best?
+
+Generates a small seeded serving trace over a shrunk Llama-style decode
+family (Zipf model popularity, Poisson arrivals, mixed prompt/decode
+lengths), folds it into weighted unique layer shapes, exhaustively searches
+every dataflow at three on-chip capacities, and prints the per-capacity
+optimum with its KV-cache/weight traffic split.
+
+Runs on the scalar backend in a couple of seconds, so it works without
+NumPy; the full-size mix behind ``repro-experiments traffic`` is pinned as
+``tests/goldens/traffic_llama_decode_32.json``.
+
+Run with::
+
+    python examples/llm_serving.py [seed]
+"""
+
+import sys
+
+from repro.analysis.traffic_report import traffic_mix_report
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    report = traffic_mix_report(
+        model="llama_decode:8",
+        extra_models=(),
+        requests=8,
+        seed=seed,
+        prompt_exponents=(5, 8),
+        decode_exponents=(4, 6),
+        model_params={"num_layers": 4},  # 4 decoder layers keep this quick
+    )
+
+    trace = report["trace"]
+    print(
+        f"mix: {', '.join(report['models'])} | {trace['requests']} requests, "
+        f"seed {trace['seed']}"
+    )
+    print(
+        f"tokens: {trace['prompt_tokens']} prompt + {trace['decode_tokens']} decoded "
+        f"over {trace['span_s']:.2f}s"
+    )
+    print(
+        f"work: {report['layer_instances']} layer executions -> "
+        f"{report['unique_shapes']} unique shapes, "
+        f"{report['macs'] / 1e9:.1f} GMACs"
+    )
+    floor = report["kv_cache_floor_words"]
+    print(f"KV-cache read floor: {floor / 1e6:.1f} Mwords\n")
+
+    header = f"{'capacity':>10} {'best dataflow':>14} {'DRAM Gwords':>12} {'KV share':>9}"
+    print(header)
+    print("-" * len(header))
+    for entry in report["optimal"]:
+        print(
+            f"{entry['capacity_kib']:>8g}KB {entry['best_dataflow']:>14} "
+            f"{entry['found_min_words'] / 1e9:>12.3f} {entry['kv_fraction']:>8.1%}"
+        )
+
+    # The invariants every mix must satisfy (the test suite pins the full
+    # golden mix; this guards the example's own output).
+    totals = []
+    for entry in report["optimal"]:
+        assert entry["found_min_words"] <= entry["best_dataflow_words"]
+        assert entry["kv_cache_reads"] >= floor, "cached words are read at least once"
+        assert 0.0 <= entry["kv_fraction"] <= 1.0
+        totals.append(entry["found_min_words"])
+    assert totals == sorted(totals, reverse=True), "more on-chip memory never hurts"
+    print("\ninvariants hold: found-min <= best single dataflow, KV reads >= floor")
+
+
+if __name__ == "__main__":
+    main()

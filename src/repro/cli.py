@@ -59,7 +59,6 @@ from repro.analysis.goldens import (
     default_goldens_dir,
     write_goldens,
 )
-from repro.analysis.report import format_table
 from repro.analysis.sweep import (
     FIG13_DEFAULT_CAPACITIES_KIB,
     FIG14_DEFAULT_CAPACITY_KIB,
@@ -107,21 +106,24 @@ def _experiment_choices() -> list:
 
 
 def _print_workloads(layers, engine) -> None:
-    rows = []
+    """The registry listing, one block per family with its full parameter set.
+
+    The parameters line is introspected from each builder's signature
+    (:meth:`~repro.workloads.registry.Workload.parameters`), so this listing
+    -- not the docs -- is the canonical source of truth for what each family
+    accepts (``?`` marks a parameter whose default is derived, e.g.
+    ``head_dim = hidden // heads``).
+    """
+    print("Registered workloads (run any figure with --workload NAME[:batch])")
     for workload in list_workloads():
         built = workload.build()
-        rows.append(
-            [
-                workload.name,
-                len(built),
-                workload.default_batch,
-                f"{total_macs(built) / 1e9:.3f}",
-                ",".join(workload.tags),
-                workload.description,
-            ]
+        print()
+        print(f"{workload.name}: {workload.description}")
+        print(
+            f"    {len(built)} layers | {total_macs(built) / 1e9:.3f} GMACs | "
+            f"tags: {','.join(workload.tags) or '-'}"
         )
-    print("Registered workloads (run any figure with --workload NAME[:batch])")
-    print(format_table(["name", "layers", "batch", "GMACs", "tags", "description"], rows))
+        print(f"    params: {workload.describe_parameters()}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -184,6 +186,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="GBPS",
         help="timing: DRAM bandwidth sweep points in GB/s "
         "(default 3.2 6.4 12.8; the paper's interface is 6.4)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="traffic: RNG seed of the request-trace generator (default 0); "
+        "with --traffic-mix, the seed of the DSE objective's mix",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="traffic: number of requests in the generated trace (default 32)",
+    )
+    parser.add_argument(
+        "--traffic-mix",
+        default=None,
+        metavar="NAME[:batch]",
+        help="dse: weight the objectives by a serving-traffic mix over this "
+        "LLM decode model (opt-in; e.g. --traffic-mix llama_decode:32)",
     )
     parser.add_argument(
         "--workers",
@@ -307,6 +329,26 @@ def main(argv: list = None) -> int:
                 timing_golden_path(args.goldens_dir) if args.goldens_dir else None
             )
             print(f"wrote {path}")
+        elif args.experiment == "traffic" and args.write:
+            # Re-pin both LLM-serving goldens: the traffic-mix payload and
+            # the llama_decode single-workload payload.
+            from repro.analysis.traffic_report import (
+                llm_golden_path,
+                traffic_golden_path,
+                write_llm_golden,
+                write_traffic_golden,
+            )
+
+            directory = args.goldens_dir
+            for path in (
+                write_traffic_golden(
+                    traffic_golden_path(directory) if directory else None, engine=engine
+                ),
+                write_llm_golden(
+                    llm_golden_path(directory) if directory else None, engine=engine
+                ),
+            ):
+                print(f"wrote {path}")
         elif args.experiment == "all":
             # The canonical paper order from the registry; 'goldens' keeps
             # its dedicated subcommand instead of riding along here.
@@ -354,9 +396,21 @@ def _dispatch(name: str, args, layers, engine) -> None:
             params["budget_kib"] = args.budget
         if args.objectives:
             params["objectives"] = list(args.objectives)
+        if args.traffic_mix:
+            mix = {"model": args.traffic_mix}
+            if args.seed is not None:
+                mix["seed"] = args.seed
+            if args.requests is not None:
+                mix["requests"] = args.requests
+            params["mix"] = mix
     elif name == "timing":
         if args.bandwidths:
             params["bandwidths_gbps"] = list(args.bandwidths)
+    elif name == "traffic":
+        if args.seed is not None:
+            params["seed"] = args.seed
+        if args.requests is not None:
+            params["requests"] = args.requests
     context = ExperimentContext(
         workload=args.workload, layers=layers, engine=engine, params=params
     )

@@ -24,8 +24,11 @@ from repro.core.lower_bound import (
     naive_traffic,
     reg_lower_bound,
     gbuf_lower_bound,
+    kv_cache_read_floor,
+    network_kv_fraction,
 )
 from repro.core.optimal_dataflow import choose_tiling, dataflow_traffic
+from repro.core.traffic import classified_traffic, classify_weight_reads
 
 __all__ = [
     "ConvLayer",
@@ -35,6 +38,10 @@ __all__ = [
     "naive_traffic",
     "reg_lower_bound",
     "gbuf_lower_bound",
+    "kv_cache_read_floor",
+    "network_kv_fraction",
     "choose_tiling",
     "dataflow_traffic",
+    "classified_traffic",
+    "classify_weight_reads",
 ]

@@ -12,6 +12,26 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+WEIGHT_KINDS = ("weights", "kv_cache", "activation")
+"""What the layer's weight tensor physically is.
+
+``weights``
+    Learned parameters (the default; every CNN/FC layer).
+``kv_cache``
+    A per-session KV-cache slice: in decode-step attention matmuls the
+    "weight" operand is the cached K or V tensor of one session, so its
+    DRAM reads are serving-state traffic, not model-parameter traffic.
+``activation``
+    A transient activation acting as the stationary operand (e.g. the
+    score matrix of prefill attention).
+
+The kind never changes the traffic a tiling incurs -- the tiling model is
+shape-only -- it only classifies *whose* words the ``weight_reads`` column
+of a :class:`~repro.core.traffic.TrafficBreakdown` counts, so analysis can
+split learned-weight reads from KV-cache reads (see
+:func:`repro.core.traffic.classify_weight_reads`).
+"""
+
 
 @dataclass(frozen=True)
 class ConvLayer:
@@ -23,6 +43,12 @@ class ConvLayer:
 
     A fully-connected layer is a convolution with ``Hk = Hi``, ``Wk = Wi``
     and unit output spatial size; use :meth:`from_fc`.
+
+    ``weight_kind`` tags what the weight tensor is (learned weights by
+    default, or a KV-cache slice / activation for LLM attention matmuls).
+    It is metadata for traffic attribution only: it is excluded from the
+    engine's layer signature, so it never affects cache keys, search
+    results, or goldens.
     """
 
     name: str
@@ -35,6 +61,7 @@ class ConvLayer:
     kernel_width: int
     stride: int = 1
     padding: int = 0
+    weight_kind: str = "weights"
 
     def __post_init__(self) -> None:
         positive_fields = {
@@ -56,6 +83,10 @@ class ConvLayer:
             raise ValueError("kernel taller than padded input")
         if self.kernel_width > self.in_width + 2 * self.padding:
             raise ValueError("kernel wider than padded input")
+        if self.weight_kind not in WEIGHT_KINDS:
+            raise ValueError(
+                f"weight_kind must be one of {WEIGHT_KINDS}, got {self.weight_kind!r}"
+            )
 
     # ------------------------------------------------------------------ shapes
 
@@ -92,6 +123,17 @@ class ConvLayer:
         return self.batch * self.out_channels * self.output_positions
 
     @property
+    def kv_cache_words(self) -> int:
+        """Words of KV-cache state this layer's weight tensor holds.
+
+        Zero unless ``weight_kind == "kv_cache"``; a decode-attention matmul
+        built by :func:`~repro.workloads.llm.llama_decode_layers` stores one
+        session's cached K (or V) tensor as its weight operand, so the whole
+        weight volume is serving state.
+        """
+        return self.num_weights if self.weight_kind == "kv_cache" else 0
+
+    @property
     def macs(self) -> int:
         """Number of multiply-accumulate operations (Lemma 1 divided by two)."""
         return (
@@ -122,11 +164,21 @@ class ConvLayer:
     # ------------------------------------------------------------ constructors
 
     @classmethod
-    def from_fc(cls, name: str, batch: int, in_features: int, out_features: int) -> "ConvLayer":
+    def from_fc(
+        cls,
+        name: str,
+        batch: int,
+        in_features: int,
+        out_features: int,
+        weight_kind: str = "weights",
+    ) -> "ConvLayer":
         """Describe a fully-connected layer as a 1x1-output convolution.
 
         The unfolded-matrix view of Section III-A makes an FC layer a plain
-        matrix multiplication (``R = 1``).
+        matrix multiplication (``R = 1``).  ``weight_kind`` tags what the
+        ``in_features x out_features`` weight operand is -- LLM decode
+        attention passes ``"kv_cache"`` because that operand is the cached
+        K/V tensor of a serving session rather than learned parameters.
         """
         return cls(
             name=name,
@@ -139,6 +191,7 @@ class ConvLayer:
             kernel_width=1,
             stride=1,
             padding=0,
+            weight_kind=weight_kind,
         )
 
     def with_batch(self, batch: int) -> "ConvLayer":

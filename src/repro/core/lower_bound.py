@@ -121,3 +121,32 @@ def bound_report(layer: ConvLayer, on_chip_words: int) -> BoundReport:
 def network_lower_bound(layers: list, on_chip_words: int) -> float:
     """Sum of per-layer practical lower bounds over a network, in words."""
     return sum(practical_lower_bound(layer, on_chip_words) for layer in layers)
+
+
+def kv_cache_read_floor(layers: list) -> int:
+    """Unconditional DRAM read floor contributed by KV-cache operands, in words.
+
+    A decode step must consult every cached K/V word of its session at least
+    once, and -- unlike learned weights, which are shared by every image of a
+    batch -- a session's cache is private, so batching concurrent sessions
+    buys no reuse across them.  The floor is therefore simply the sum of
+    ``kv_cache_words`` over the layers (each KV-tagged matmul already models
+    exactly one session group's cache slice).  This term survives unchanged
+    inside :func:`practical_lower_bound`'s ideal clamp: for a KV-tagged
+    ``from_fc`` layer ``num_weights`` *is* the cache slice, so the per-layer
+    ideal traffic already counts each cached word once.
+    """
+    return sum(layer.kv_cache_words for layer in layers)
+
+
+def network_kv_fraction(layers: list, on_chip_words: int) -> float:
+    """Fraction of the network's practical lower bound that is KV-cache reads.
+
+    A quick "how KV-bound is this workload?" diagnostic: the KV read floor of
+    :func:`kv_cache_read_floor` divided by the summed practical bound.  Zero
+    for any network without KV-tagged layers.
+    """
+    total = network_lower_bound(layers, on_chip_words)
+    if not total:
+        return 0.0
+    return kv_cache_read_floor(layers) / total

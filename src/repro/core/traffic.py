@@ -106,3 +106,61 @@ def sum_traffic(parts: list) -> TrafficBreakdown:
     for part in parts:
         total = total + part
     return total
+
+
+def classify_weight_reads(layer, traffic: TrafficBreakdown) -> dict:
+    """Attribute a layer's ``weight_reads`` to what the weight tensor is.
+
+    The tiling model is shape-only, so a decode-step attention matmul whose
+    "weights" are really one session's KV cache produces the same
+    :class:`TrafficBreakdown` as a learned-weight FC of the same shape.  This
+    helper splits the reads by the layer's ``weight_kind`` tag so reports can
+    answer "how much of this traffic is model parameters vs. serving state?".
+    """
+    split = {"weights": 0.0, "kv_cache": 0.0, "activation": 0.0}
+    split[getattr(layer, "weight_kind", "weights")] = traffic.weight_reads
+    return split
+
+
+def classified_traffic(layers: list, breakdowns: list, weights: list = None) -> dict:
+    """Aggregate per-layer traffic with weight reads attributed by kind.
+
+    ``layers`` and ``breakdowns`` are parallel lists; ``weights`` optionally
+    scales each pair (a traffic mix passes occurrence counts).  Returns a flat
+    dict of word totals: ``input_reads``, ``weight_reads`` (learned
+    parameters only), ``kv_cache_reads``, ``activation_reads`` (stationary
+    activations counted as weights by the tiling model), ``output_reads``,
+    ``output_writes`` and ``total``.
+    """
+    if len(layers) != len(breakdowns):
+        raise ValueError(
+            f"layers and breakdowns must be parallel, got {len(layers)} vs {len(breakdowns)}"
+        )
+    if weights is None:
+        weights = [1] * len(layers)
+    elif len(weights) != len(layers):
+        raise ValueError(
+            f"weights must be parallel to layers, got {len(weights)} vs {len(layers)}"
+        )
+    totals = {
+        "input_reads": 0.0,
+        "weight_reads": 0.0,
+        "kv_cache_reads": 0.0,
+        "activation_reads": 0.0,
+        "output_reads": 0.0,
+        "output_writes": 0.0,
+    }
+    kind_column = {
+        "weights": "weight_reads",
+        "kv_cache": "kv_cache_reads",
+        "activation": "activation_reads",
+    }
+    for layer, part, weight in zip(layers, breakdowns, weights):
+        totals["input_reads"] += weight * part.input_reads
+        totals[kind_column[getattr(layer, "weight_kind", "weights")]] += (
+            weight * part.weight_reads
+        )
+        totals["output_reads"] += weight * part.output_reads
+        totals["output_writes"] += weight * part.output_writes
+    totals["total"] = sum(totals.values())
+    return totals

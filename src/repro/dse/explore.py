@@ -104,6 +104,31 @@ def co_search_families(engine, layers, families: list) -> dict:
     return per_family
 
 
+def _mix_layers(mix: dict) -> tuple:
+    """Weighted unique-shape layers of a serving-traffic mix.
+
+    ``mix`` holds a ``model`` spec (``"llama_decode:32"``) plus optional
+    :class:`~repro.workloads.traffic.TrafficMixSpec` overrides (``seed``,
+    ``requests``, ...).  Returns ``(exemplar_layers, weights)`` -- the
+    deduped shapes the co-search runs once each, and how many times each
+    executes across the whole trace.
+    """
+    from repro.workloads.traffic import (
+        TrafficMixSpec,
+        aggregate_trace,
+        generate_trace,
+        served_model,
+        weighted_unique_layers,
+    )
+
+    overrides = dict(mix)
+    model = overrides.pop("model")
+    spec = TrafficMixSpec(models=(served_model(model),), **overrides)
+    trace = generate_trace(spec)
+    loads = aggregate_trace(spec, trace)
+    return weighted_unique_layers(spec, loads)
+
+
 def design_space_exploration(
     budget_kib: float = DEFAULT_BUDGET_KIB,
     layers=None,
@@ -112,12 +137,29 @@ def design_space_exploration(
     space: CandidateSpace = None,
     slice_spec=(1, 1),
     max_configs: int = None,
+    mix: dict = None,
 ) -> dict:
-    """Run one sweep (or one slice of it); returns the JSON-ready payload."""
-    layers = resolve_layers(layers, "vgg16")
+    """Run one sweep (or one slice of it); returns the JSON-ready payload.
+
+    ``mix`` switches the sweep's workload to a serving-traffic mix (see
+    :func:`_mix_layers`): candidates are scored on the mix's weighted unique
+    shapes instead of ``layers``, so the frontier optimises for the traffic
+    actually served rather than one network run once.
+    """
     if engine is None:
         engine = get_default_engine()
     objectives = validate_objectives(objectives or ("dram", "energy", "time"))
+    weights = None
+    if mix is not None:
+        if "stall_time" in objectives:
+            raise ValueError(
+                "the 'stall_time' objective replays whole networks through "
+                "the tile-level simulator and has no weighted-mix form; "
+                "drop 'stall_time' from the objectives or drop the mix"
+            )
+        layers, weights = _mix_layers(mix)
+    else:
+        layers = resolve_layers(layers, "vgg16")
     if space is None:
         space = CandidateSpace()
     if budget_kib <= 0:
@@ -158,6 +200,7 @@ def design_space_exploration(
                 layers,
                 [traffic for _, traffic in searched],
                 include_stall_time=include_stall_time,
+                weights=weights,
             )
         except ValueError:
             # The stall-aware objective runs the tile-level simulator with
@@ -182,6 +225,10 @@ def design_space_exploration(
             }
         )
 
+    if weights is None:
+        gmacs = total_macs(layers) / 1e9
+    else:
+        gmacs = sum(w * layer.macs for layer, w in zip(layers, weights)) / 1e9
     return {
         "format": DSE_FORMAT,
         "budget_kib": float(budget_kib),
@@ -190,8 +237,9 @@ def design_space_exploration(
         "slice": list(validate_shard(*slice_spec)),
         "space": space.as_dict(),
         "max_configs": max_configs,
+        "mix": dict(mix) if mix is not None else None,
         "layer_count": len(layers),
-        "gmacs": total_macs(layers) / 1e9,
+        "gmacs": gmacs,
         "config_count_total": total_configs,
         "config_count": len(rows),
         "infeasible_count": infeasible,
@@ -271,6 +319,7 @@ def _build_dse(ctx):
         space=CandidateSpace.from_dict(space) if space else None,
         slice_spec=tuple(params["slice"]),
         max_configs=params.get("max_configs"),
+        mix=params.get("mix"),
     )
 
 
@@ -293,6 +342,7 @@ register_experiment(
             "slice": [1, 1],
             "max_configs": None,
             "space": None,
+            "mix": None,
         },
     )
 )

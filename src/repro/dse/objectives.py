@@ -49,28 +49,47 @@ class CycleEstimate:
         return self.compute_cycles + self.waiting_cycles
 
 
-def estimate_cycles(config: AcceleratorConfig, layers, per_layer_traffic, dram: DramModel) -> CycleEstimate:
-    """MAC-bound compute overlapped with DRAM streaming, per layer."""
+def estimate_cycles(
+    config: AcceleratorConfig,
+    layers,
+    per_layer_traffic,
+    dram: DramModel,
+    weights=None,
+) -> CycleEstimate:
+    """MAC-bound compute overlapped with DRAM streaming, per layer.
+
+    ``weights[i]`` repeats layer ``i`` that many times (a traffic mix scores
+    each unique shape once and multiplies); ``None`` means every layer runs
+    once.  Stalls are computed per execution, then scaled -- repeating a
+    layer repeats its fill/drain behaviour, it does not amortise it.
+    """
     bytes_per_cycle = dram.peak_bandwidth_bytes_per_s / config.clock_hz
+    if weights is None:
+        weights = (1,) * len(layers)
     compute_total = 0
     waiting_total = 0.0
-    for layer, traffic in zip(layers, per_layer_traffic):
+    for layer, traffic, weight in zip(layers, per_layer_traffic, weights):
         compute = ceil_div(layer.macs, config.num_pes)
         transfer = traffic.total * BYTES_PER_WORD / bytes_per_cycle
-        compute_total += compute
-        waiting_total += max(0.0, transfer - compute)
+        compute_total += weight * compute
+        waiting_total += weight * max(0.0, transfer - compute)
     return CycleEstimate(compute_cycles=compute_total, waiting_cycles=waiting_total)
 
 
-def estimate_counts(layers, per_layer_traffic) -> dict:
-    """First-order access counts (see the module docstring for the model)."""
-    input_reads = sum(traffic.input_reads for traffic in per_layer_traffic)
-    weight_reads = sum(traffic.weight_reads for traffic in per_layer_traffic)
-    output_reads = sum(traffic.output_reads for traffic in per_layer_traffic)
-    output_writes = sum(traffic.output_writes for traffic in per_layer_traffic)
-    macs = sum(layer.macs for layer in layers)
+def estimate_counts(layers, per_layer_traffic, weights=None) -> dict:
+    """First-order access counts (see the module docstring for the model).
+
+    ``weights[i]`` repeats layer ``i`` that many times; ``None`` means once.
+    """
+    if weights is None:
+        weights = (1,) * len(layers)
+    input_reads = sum(w * t.input_reads for t, w in zip(per_layer_traffic, weights))
+    weight_reads = sum(w * t.weight_reads for t, w in zip(per_layer_traffic, weights))
+    output_reads = sum(w * t.output_reads for t, w in zip(per_layer_traffic, weights))
+    output_writes = sum(w * t.output_writes for t, w in zip(per_layer_traffic, weights))
+    macs = sum(w * layer.macs for layer, w in zip(layers, weights))
     return {
-        "dram_words": sum(traffic.total for traffic in per_layer_traffic),
+        "dram_words": sum(w * t.total for t, w in zip(per_layer_traffic, weights)),
         "igbuf_reads": input_reads,
         "igbuf_writes": input_reads,
         "wgbuf_reads": weight_reads,
@@ -107,6 +126,7 @@ def config_objectives(
     per_layer_traffic,
     energy_model: EnergyModel = None,
     include_stall_time: bool = False,
+    weights=None,
 ) -> dict:
     """The DSE objective vector of one config on one workload.
 
@@ -115,12 +135,22 @@ def config_objectives(
     three minimised objectives plus the derived quantities a frontier reader
     wants alongside them; ``include_stall_time`` adds the tile-level
     simulator's stall-aware latency (may raise ``ValueError`` for configs
-    whose memories fit no tiling).
+    whose memories fit no tiling).  ``weights`` repeats each layer (a
+    traffic mix scores unique shapes and multiplies); the stall-aware
+    objective has no weighted form, so combining the two is an error.
     """
+    if include_stall_time and weights is not None:
+        raise ValueError(
+            "the 'stall_time' objective replays whole networks through the "
+            "tile-level simulator and has no weighted-mix form; drop "
+            "'stall_time' from the objectives or drop the mix"
+        )
     if energy_model is None:
         energy_model = EnergyModel()
-    counts = estimate_counts(layers, per_layer_traffic)
-    cycles = estimate_cycles(config, layers, per_layer_traffic, energy_model.dram)
+    counts = estimate_counts(layers, per_layer_traffic, weights=weights)
+    cycles = estimate_cycles(
+        config, layers, per_layer_traffic, energy_model.dram, weights=weights
+    )
     breakdown = energy_model.energy_from_counts(
         config, total_cycles=cycles.total_cycles, **counts
     )

@@ -135,6 +135,19 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         help="timing experiment bandwidth sweep override (GB/s)",
     )
     spec_parent.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="traffic experiment trace seed override",
+    )
+    spec_parent.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="traffic experiment request-count override",
+    )
+    spec_parent.add_argument(
         "--dse-slices",
         type=int,
         default=None,
@@ -384,6 +397,19 @@ def _build_spec(args) -> ManifestSpec:
                 "--experiments"
             )
         params["timing"] = {"bandwidths_gbps": list(args.bandwidths)}
+    traffic_overrides = {}
+    if args.seed is not None:
+        traffic_overrides["seed"] = args.seed
+    if args.requests is not None:
+        traffic_overrides["requests"] = args.requests
+    if traffic_overrides:
+        if "traffic" not in experiments:
+            raise ValueError(
+                "--seed/--requests configure the 'traffic' experiment, which "
+                "is not in this run's --experiments list; add 'traffic' to "
+                "--experiments"
+            )
+        params["traffic"] = traffic_overrides
     dse_overrides = {}
     if args.budget is not None:
         dse_overrides["budget_kib"] = args.budget

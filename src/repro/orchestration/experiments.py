@@ -45,6 +45,13 @@ class Experiment:
     ``uses_search`` marks experiments whose payload depends on the tiling
     search engine -- only those are expanded across backends by the run
     manifest, because backend choice cannot change any other payload.
+
+    ``workloads`` optionally pins the experiment to a fixed workload tuple:
+    the run manifest then expands it over these instead of the spec's
+    workload list.  The ``traffic`` experiment uses this -- a serving-traffic
+    mix is only meaningful on an LLM decode family, so a ``reproduce-all``
+    over the CNN workloads still gets exactly one traffic unit on its pinned
+    LLM workload rather than three meaningless (failing) ones.
     """
 
     name: str
@@ -53,6 +60,7 @@ class Experiment:
     render: object = field(repr=False)
     uses_search: bool = False
     default_params: dict = field(default_factory=dict)
+    workloads: tuple = None
 
 
 _REGISTRY = {}
@@ -86,6 +94,7 @@ def load_experiments() -> None:
     import repro.analysis.performance_report  # noqa: F401
     import repro.analysis.sweep  # noqa: F401
     import repro.analysis.timing_report  # noqa: F401  (tile-level timing sweeps)
+    import repro.analysis.traffic_report  # noqa: F401  (LLM serving-traffic mixes)
     import repro.analysis.utilization_report  # noqa: F401
     import repro.dse.explore  # noqa: F401  (the hardware design-space sweep)
 
@@ -133,6 +142,7 @@ PAPER_EXPERIMENTS = (
     "fig19",
     "fig20",
     "timing",
+    "traffic",
     "goldens",
 )
 

@@ -169,7 +169,15 @@ class RunManifest:
                 # like a manifest reloaded from disk would.
                 params_json = canonical_json(json.loads(canonical_json(params)))
                 backends = spec.backends if experiment.uses_search else (NO_BACKEND,)
-                for workload in spec.workloads:
+                # An experiment may pin its own workloads (e.g. ``traffic``
+                # only runs on its LLM serving mix); otherwise the spec's
+                # workload list applies.
+                workloads = (
+                    experiment.workloads
+                    if experiment.workloads is not None
+                    else spec.workloads
+                )
+                for workload in workloads:
                     for backend in backends:
                         unit = RunUnit(
                             experiment=experiment_name,

@@ -283,6 +283,7 @@ def diff_merged_goldens(merged_dir: str, goldens_dir: str) -> dict:
             continue
         problems.extend(prefix + problem for problem in diff_goldens(expected, actual))
     _diff_timing_units(manifest_document, merged_dir, goldens_dir, report)
+    _diff_traffic_units(manifest_document, merged_dir, goldens_dir, report)
     return report
 
 
@@ -301,26 +302,72 @@ def _diff_timing_units(manifest_document, merged_dir, goldens_dir, report) -> No
         timing_golden_path,
     )
 
-    pinned_params = json.loads(json.dumps(TIMING_GOLDEN_PARAMS))
+    _diff_pinned_units(
+        manifest_document,
+        merged_dir,
+        report,
+        experiment="timing",
+        workload=TIMING_GOLDEN_WORKLOAD,
+        pinned_params=TIMING_GOLDEN_PARAMS,
+        pinned_path=timing_golden_path(goldens_dir),
+    )
+
+
+def _diff_traffic_units(manifest_document, merged_dir, goldens_dir, report) -> None:
+    """Diff merged ``traffic`` units against the pinned traffic-mix golden.
+
+    Same contract as :func:`_diff_timing_units`: only the unit matching the
+    pinned workload and parameters is comparable, and absence is not an
+    error (the traffic experiment is optional in trimmed run specs).
+    """
+    from repro.analysis.traffic_report import (
+        TRAFFIC_GOLDEN_PARAMS,
+        TRAFFIC_GOLDEN_WORKLOAD,
+        traffic_golden_path,
+    )
+
+    _diff_pinned_units(
+        manifest_document,
+        merged_dir,
+        report,
+        experiment="traffic",
+        workload=TRAFFIC_GOLDEN_WORKLOAD,
+        pinned_params=TRAFFIC_GOLDEN_PARAMS,
+        pinned_path=traffic_golden_path(goldens_dir),
+    )
+
+
+def _diff_pinned_units(
+    manifest_document,
+    merged_dir,
+    report,
+    experiment: str,
+    workload: str,
+    pinned_params: dict,
+    pinned_path: str,
+) -> None:
+    """Diff every merged unit matching one pinned (experiment, workload,
+    params) triple against its golden file, accumulating under the report
+    key ``"<experiment>:<workload>"``."""
+    pinned_params = json.loads(json.dumps(pinned_params))
     units = [
         unit
         for unit in manifest_document["units"]
-        if unit["experiment"] == "timing"
-        and unit["workload"] == TIMING_GOLDEN_WORKLOAD
+        if unit["experiment"] == experiment
+        and unit["workload"] == workload
         and unit["params"] == pinned_params
     ]
     if not units:
         return
-    key = f"timing:{TIMING_GOLDEN_WORKLOAD}"
+    key = f"{experiment}:{workload}"
     problems = report.setdefault(key, [])
-    pinned_path = timing_golden_path(goldens_dir)
     for unit in units:
         artifact_path = os.path.join(merged_dir, UNITS_DIRNAME, unit["unit_id"] + ".json")
         if not os.path.exists(artifact_path):
-            problems.append(f"timing unit {unit['unit_id']} was never computed")
+            problems.append(f"{experiment} unit {unit['unit_id']} was never computed")
             continue
         if not os.path.exists(pinned_path):
-            problems.append(f"no pinned timing golden at {pinned_path}")
+            problems.append(f"no pinned {experiment} golden at {pinned_path}")
             continue
         try:
             with open(artifact_path) as handle:

@@ -6,6 +6,11 @@ from repro.workloads.resnet import resnet18_conv_layers
 from repro.workloads.mobilenet import mobilenet_v1_layers
 from repro.workloads.googlenet import googlenet_conv_layers
 from repro.workloads.transformer import bert_base_layers, transformer_encoder_layers
+from repro.workloads.llm import (
+    llama_decode_layers,
+    llama_prefill_layers,
+    mixtral_decode_layers,
+)
 from repro.workloads.generator import random_layer, random_network, small_test_layers
 from repro.workloads.registry import (
     UnknownWorkloadError,
@@ -27,6 +32,9 @@ __all__ = [
     "googlenet_conv_layers",
     "bert_base_layers",
     "transformer_encoder_layers",
+    "llama_decode_layers",
+    "llama_prefill_layers",
+    "mixtral_decode_layers",
     "random_layer",
     "random_network",
     "small_test_layers",

@@ -28,11 +28,17 @@ where the builder is ``builder(batch, **params) -> list[ConvLayer]``.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.workloads.alexnet import alexnet_conv_layers
 from repro.workloads.generator import random_network, small_test_layers
 from repro.workloads.googlenet import googlenet_conv_layers
+from repro.workloads.llm import (
+    llama_decode_layers,
+    llama_prefill_layers,
+    mixtral_decode_layers,
+)
 from repro.workloads.mobilenet import mobilenet_v1_layers
 from repro.workloads.resnet import resnet18_conv_layers
 from repro.workloads.transformer import bert_base_layers, bert_large_layers
@@ -63,6 +69,33 @@ class Workload:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         return self.builder(batch, **params)
+
+    def parameters(self) -> dict:
+        """Tunable builder parameters and their defaults, ``batch`` first.
+
+        Introspected from the builder's signature so the CLI listing and the
+        docs have one source of truth.  The first positional parameter is the
+        batch override (reported with the registry's ``default_batch``);
+        cosmetic (``prefix``) and var-keyword parameters are omitted.
+        """
+        params = {"batch": self.default_batch}
+        signature = inspect.signature(self.builder)
+        for index, parameter in enumerate(signature.parameters.values()):
+            if index == 0 or parameter.name == "prefix":
+                continue
+            if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+                continue
+            params[parameter.name] = (
+                None if parameter.default is parameter.empty else parameter.default
+            )
+        return params
+
+    def describe_parameters(self) -> str:
+        """One-line ``name=default`` rendering of :meth:`parameters`."""
+        return " ".join(
+            f"{name}={'?' if value is None else value}"
+            for name, value in self.parameters().items()
+        )
 
 
 _REGISTRY = {}
@@ -207,6 +240,27 @@ register_workload(
     "BERT-large encoder: 24 layers, hidden 1024, 16 heads (seq 128)",
     bert_large_layers,
     tags=("transformer", "matmul", "modern"),
+)
+register_workload(
+    "llama_decode",
+    "Llama-3-8B decode step: skinny GEMMs + GQA KV-cache matmuls (batch=sessions)",
+    llama_decode_layers,
+    default_batch=32,
+    tags=("llm", "decode", "matmul", "modern"),
+)
+register_workload(
+    "llama_prefill",
+    "Llama-3-8B prefill: prompt-ingestion matmuls with grouped-query attention",
+    llama_prefill_layers,
+    default_batch=1,
+    tags=("llm", "prefill", "matmul", "modern"),
+)
+register_workload(
+    "mixtral_decode",
+    "Mixtral-style MoE decode step: GQA attention + top-k routed expert FFNs",
+    mixtral_decode_layers,
+    default_batch=32,
+    tags=("llm", "decode", "moe", "matmul", "modern"),
 )
 register_workload(
     "tiny",

@@ -48,12 +48,27 @@ def transformer_encoder_layers(
             layers.append(ConvLayer.from_fc(f"{name}/{projection}", tokens, hidden, hidden))
         for sequence in range(batch):
             for head in range(heads):
+                # The stationary operand of both attention matmuls is an
+                # activation tensor (K^T resp. V), not learned weights; the
+                # tag lets traffic reports attribute the reads correctly.
                 suffix = f"s{sequence}_h{head:02d}"
                 layers.append(
-                    ConvLayer.from_fc(f"{name}/scores_{suffix}", seq_len, head_dim, seq_len)
+                    ConvLayer.from_fc(
+                        f"{name}/scores_{suffix}",
+                        seq_len,
+                        head_dim,
+                        seq_len,
+                        weight_kind="activation",
+                    )
                 )
                 layers.append(
-                    ConvLayer.from_fc(f"{name}/context_{suffix}", seq_len, seq_len, head_dim)
+                    ConvLayer.from_fc(
+                        f"{name}/context_{suffix}",
+                        seq_len,
+                        seq_len,
+                        head_dim,
+                        weight_kind="activation",
+                    )
                 )
         layers.append(ConvLayer.from_fc(f"{name}/out_proj", tokens, hidden, hidden))
         layers.append(ConvLayer.from_fc(f"{name}/ffn_in", tokens, hidden, ffn_hidden))
