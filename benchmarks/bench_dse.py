@@ -24,7 +24,7 @@ import time
 from repro.arch.config import paper_implementation
 from repro.dse.explore import design_space_exploration
 from repro.dse.pareto import contains_or_dominates
-from repro.dse.space import CandidateSpace, enumerate_splits
+from repro.dse.space import CandidateSpace, count_splits, enumerate_splits
 from repro.engine import SearchEngine
 
 import numpy  # noqa: F401  (the gates measure the vectorized backend)
@@ -45,6 +45,17 @@ BIG_SPACE = CandidateSpace(
     igbuf_words=tuple(256 * step for step in range(1, 33)),
     wgbuf_words=tuple(128 * step for step in range(1, 25)),
 )
+
+#: A > 10^4-candidate space for the smart-explorer gate: dense enough along
+#: every axis that successive halving's coarse-to-fine refinement pays off.
+SMART_GATE_SPACE = CandidateSpace(
+    pe_dims=tuple(range(4, 100, 4)),
+    lreg_words=(8, 12, 16, 24, 32, 48, 64, 96),
+    igbuf_words=(256, 384, 512, 768, 1024, 1536),
+    wgbuf_words=(64, 96, 128, 192, 256, 384),
+)
+
+SMART_GATE_BUDGET_KIB = 64.0
 
 
 def test_dse_sweep_vectorized_vs_scalar_10x(vgg_layers):
@@ -112,6 +123,60 @@ def test_dse_enumeration_backends_agree_at_scale():
         f"\nconfig enumeration ({len(scalar)} candidates kept):\n"
         f"  scalar loops   {scalar_seconds * 1e3:8.1f} ms\n"
         f"  numpy meshgrid {vectorized_seconds * 1e3:8.1f} ms"
+    )
+
+
+def test_dse_halving_explorer_quarter_of_exhaustive():
+    """Smart-explorer gate: successive halving on a > 10^4-candidate space.
+
+    The halving driver must return the byte-identical Pareto frontier with
+    a verified exactness certificate while evaluating at most 25% of the
+    candidates the exhaustive sweep scores.  Both runs use the tiny
+    workload so the exhaustive reference stays CI-sized; the wall-clock
+    comparison is printed for visibility but the evaluation-count ratio is
+    the gate (it is deterministic, machine speed is not).
+    """
+    from repro.core.layer import kib_to_words
+
+    total = count_splits(kib_to_words(SMART_GATE_BUDGET_KIB), SMART_GATE_SPACE)
+    assert total >= 10_000, f"gate space shrank to {total} candidates"
+
+    start = time.perf_counter()
+    exhaustive = design_space_exploration(
+        budget_kib=SMART_GATE_BUDGET_KIB,
+        layers="tiny",
+        engine=SearchEngine(workers=1, backend="numpy"),
+        space=SMART_GATE_SPACE,
+    )
+    exhaustive_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    halving = design_space_exploration(
+        budget_kib=SMART_GATE_BUDGET_KIB,
+        layers="tiny",
+        engine=SearchEngine(workers=1, backend="numpy"),
+        space=SMART_GATE_SPACE,
+        explorer="halving",
+    )
+    halving_seconds = time.perf_counter() - start
+
+    evaluated = halving["evaluated_count"]
+    scored = exhaustive["config_count"] + exhaustive["infeasible_count"]
+    fraction = evaluated / scored
+    print(
+        f"\ntiny DSE sweep, {total} candidates under "
+        f"{SMART_GATE_BUDGET_KIB:g} KiB:\n"
+        f"  exhaustive  {scored:6d} evaluations  {exhaustive_seconds:6.2f} s\n"
+        f"  halving     {evaluated:6d} evaluations  {halving_seconds:6.2f} s "
+        f"({fraction * 100:.1f}% of exhaustive)"
+    )
+    assert halving["certificate"]["verified"] is True, "certificate did not verify"
+    assert json.dumps(halving["frontier"], sort_keys=True) == json.dumps(
+        exhaustive["frontier"], sort_keys=True
+    ), "the halving frontier moved off the exhaustive frontier"
+    assert fraction <= 0.25, (
+        f"halving evaluated {evaluated} of {scored} configs "
+        f"({fraction * 100:.1f}%; gate: 25%)"
     )
 
 

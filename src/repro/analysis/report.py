@@ -132,6 +132,16 @@ def format_dse_frontier(payload: dict) -> str:
         header += f" [slice {slice_index}/{slice_count}]"
     objectives = ", ".join(payload["objectives"])
     lines = [header, f"Pareto frontier over ({objectives}): {len(payload['frontier'])} points"]
+    if payload.get("explorer", "exhaustive") != "exhaustive":
+        certificate = payload.get("certificate", {})
+        verdict = "verified" if certificate.get("verified") else "NOT verified"
+        lines.append(
+            f"Explorer '{payload['explorer']}' (seed {payload.get('seed', 0)}): "
+            f"evaluated {payload.get('evaluated_count', payload['config_count'])} of "
+            f"{payload['config_count_total']} candidates; certificate {verdict} "
+            f"(region {certificate.get('region', '?')}, "
+            f"{certificate.get('exhaustive_points', 0)} points enumerated)"
+        )
     rows = []
     for row in payload["frontier"]:
         dominant = max(row["dataflows"].items(), key=lambda item: (item[1], item[0]))[0]

@@ -64,6 +64,7 @@ from repro.analysis.sweep import (
     FIG14_DEFAULT_CAPACITY_KIB,
 )
 from repro.core.layer import total_macs
+from repro.dse.smart import EXPLORERS
 from repro.engine import SearchEngine, set_default_engine
 from repro.orchestration.experiments import (
     EXPERIMENT_ALIASES,
@@ -188,11 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 3.2 6.4 12.8; the paper's interface is 6.4)",
     )
     parser.add_argument(
+        "--explorer",
+        choices=list(EXPLORERS),
+        default=None,
+        help="dse: frontier explorer -- 'exhaustive' (default) scores every "
+        "candidate config; 'halving', 'local' and 'evolution' evaluate a "
+        "subset and attach a trust-region exactness certificate to the "
+        "payload (seeded by --seed, default 0)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
         help="traffic: RNG seed of the request-trace generator (default 0); "
-        "with --traffic-mix, the seed of the DSE objective's mix",
+        "with --traffic-mix, the seed of the DSE objective's mix; with a "
+        "smart --explorer, the explorer's RNG seed",
     )
     parser.add_argument(
         "--requests",
@@ -403,6 +414,10 @@ def _dispatch(name: str, args, layers, engine) -> None:
             if args.requests is not None:
                 mix["requests"] = args.requests
             params["mix"] = mix
+        if args.explorer:
+            params["explorer"] = args.explorer
+            if args.seed is not None:
+                params["seed"] = args.seed
     elif name == "timing":
         if args.bandwidths:
             params["bandwidths_gbps"] = list(args.bandwidths)

@@ -49,7 +49,18 @@ def collect_dse_units(run_dirs: list, workload: str = None) -> list:
             if workload is not None and document.get("workload") != workload:
                 continue
             unit_id = document.get("unit_id", os.path.basename(path))
-            units.setdefault(unit_id, document)
+            previous = units.get(unit_id)
+            if previous is None:
+                units[unit_id] = document
+            elif canonical_json(previous) != canonical_json(document):
+                # Like merge_runs' byte comparison: a unit id appearing in
+                # several trees is fine only when the artifacts agree --
+                # silently keeping the first would let a stale tree win by
+                # glob order.
+                raise ValueError(
+                    f"unit {unit_id!r} differs between run trees; "
+                    "the trees hold incompatible sweeps"
+                )
     return [units[unit_id] for unit_id in sorted(units)]
 
 
@@ -107,6 +118,19 @@ def merge_dse_artifacts(run_dirs: list, workload: str = None) -> dict:
             # (coarser granularity breaking ties).
             counting = max(by_count, key=lambda count: (len(by_count[count]), -count))
         counted_payloads = list(by_count[counting].values())
+        # The group key only covers the *params*; the payload fields derived
+        # from them must agree across the group, or a corrupt/mismatched
+        # artifact would be silently adopted from whichever payload sorted
+        # first.
+        reference = payloads[0]
+        for payload in payloads[1:]:
+            for field in ("config_count_total", "budget_kib", "objectives"):
+                if payload[field] != reference[field]:
+                    raise ValueError(
+                        f"'dse' artifacts of one sweep disagree on {field} "
+                        f"({payload[field]!r} vs {reference[field]!r}); "
+                        "the trees hold incompatible sweeps"
+                    )
         objectives = payloads[0]["objectives"]
         # The same config can reach this point through overlapping slicings
         # (e.g. an unsliced run merged with a 2-slice run); identical rows
@@ -126,6 +150,13 @@ def merge_dse_artifacts(run_dirs: list, workload: str = None) -> dict:
             {
                 "workload": documents[0].get("workload"),
                 "backend": documents[0].get("backend"),
+                # Exhaustive enumeration needs no certificate, so a group is
+                # uncertified only when a smart island's fixed point failed.
+                "explorer": documents[0].get("params", {}).get("explorer", "exhaustive"),
+                "certified": all(
+                    payload.get("certificate", {}).get("verified", True)
+                    for payload in payloads
+                ),
                 "budget_kib": payloads[0]["budget_kib"],
                 "objectives": list(objectives),
                 "slices": [list(entry) for entry in slices],

@@ -34,7 +34,14 @@ from repro.dataflows.registry import BASELINE_DATAFLOWS
 from repro.dataflows.ours import OptimalDataflow
 from repro.dse.objectives import config_objectives
 from repro.dse.pareto import pareto_frontier, validate_objectives
-from repro.dse.space import CandidateSpace, enumerate_configs
+from repro.dse.smart import (
+    DEFAULT_CERTIFICATE_REGION,
+    DEFAULT_EXPLORER,
+    run_smart_explorer,
+    validate_explorer,
+    validate_seed,
+)
+from repro.dse.space import CandidateSpace, build_config, count_splits, enumerate_configs
 from repro.engine import get_default_engine, validate_shard
 from repro.orchestration.experiments import Experiment, register_experiment
 from repro.workloads.registry import resolve_layers
@@ -104,6 +111,37 @@ def co_search_families(engine, layers, families: list) -> dict:
     return per_family
 
 
+def validate_mix(mix) -> tuple:
+    """Check a traffic-mix params dict; returns ``(model, overrides)``.
+
+    A mix needs a ``model`` workload spec and may override any other
+    :class:`~repro.workloads.traffic.TrafficMixSpec` field.  Both failure
+    modes raise ``ValueError`` -- not the raw ``KeyError``/``TypeError`` a
+    hand-edited manifest used to surface -- so the CLIs turn them into the
+    standard exit-2 one-liner.
+    """
+    from dataclasses import fields
+
+    from repro.workloads.traffic import TrafficMixSpec
+
+    if not isinstance(mix, dict):
+        raise ValueError(f"a dse traffic mix must be a params dict, got {type(mix).__name__}")
+    overrides = dict(mix)
+    model = overrides.pop("model", None)
+    if not isinstance(model, str) or not model:
+        raise ValueError(
+            "a dse traffic mix needs a 'model' workload spec (e.g. "
+            f"{{'model': 'llama_decode:32'}}); got keys {sorted(mix)}"
+        )
+    allowed = sorted(field.name for field in fields(TrafficMixSpec) if field.name != "models")
+    unknown = sorted(set(overrides) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown traffic-mix override keys {unknown}; choose from: " + ", ".join(allowed)
+        )
+    return model, overrides
+
+
 def _mix_layers(mix: dict) -> tuple:
     """Weighted unique-shape layers of a serving-traffic mix.
 
@@ -121,12 +159,72 @@ def _mix_layers(mix: dict) -> tuple:
         weighted_unique_layers,
     )
 
-    overrides = dict(mix)
-    model = overrides.pop("model")
+    model, overrides = validate_mix(mix)
     spec = TrafficMixSpec(models=(served_model(model),), **overrides)
     trace = generate_trace(spec)
     loads = aggregate_trace(spec, trace)
     return weighted_unique_layers(spec, loads)
+
+
+def score_config_rows(engine, layers, configs, objectives, weights=None) -> list:
+    """Score candidate configs; one row dict (or ``None``) per config.
+
+    The shared scoring stage of the exhaustive sweep and every smart
+    explorer batch: families are co-searched once
+    (:func:`co_search_families`), then each config is priced by the
+    first-order objective model.  ``None`` marks a config infeasible --
+    either no dataflow fits its family or the stall-aware objective's
+    stricter tiling search rejects it.  The returned list is aligned with
+    ``configs`` and deterministic for a given engine backend (and, because
+    search results are bit-identical across backends, across backends too).
+    """
+    objectives = validate_objectives(objectives)
+    families = [
+        (config.psum_words, config.igbuf_words, config.wgbuf_words) for config in configs
+    ]
+    per_family = co_search_families(engine, layers, families)
+    include_stall_time = "stall_time" in objectives
+    scored = []
+    for config in configs:
+        family = (config.psum_words, config.igbuf_words, config.wgbuf_words)
+        searched = per_family[family]
+        if searched is None:
+            scored.append(None)
+            continue
+        dataflow_wins = {}
+        for dataflow_name, _ in searched:
+            dataflow_wins[dataflow_name] = dataflow_wins.get(dataflow_name, 0) + 1
+        try:
+            priced = config_objectives(
+                config,
+                layers,
+                [traffic for _, traffic in searched],
+                include_stall_time=include_stall_time,
+                weights=weights,
+            )
+        except ValueError:
+            # The stall-aware objective runs the tile-level simulator with
+            # the accelerator's own tiling search, which is stricter than
+            # the family co-search (per-PE Psum fit, PE-aligned candidates);
+            # a config whose memories fit no tiling is simply infeasible.
+            scored.append(None)
+            continue
+        scored.append(
+            {
+                "config": config.name,
+                "pe_rows": config.pe_rows,
+                "pe_cols": config.pe_cols,
+                "num_pes": config.num_pes,
+                "lreg_words_per_pe": config.lreg_words_per_pe,
+                "igbuf_words": config.igbuf_words,
+                "wgbuf_words": config.wgbuf_words,
+                "psum_words": config.psum_words,
+                "effective_kib": config.effective_on_chip_kib,
+                "dataflows": dict(sorted(dataflow_wins.items())),
+                "objectives": priced,
+            }
+        )
+    return scored
 
 
 def design_space_exploration(
@@ -138,6 +236,9 @@ def design_space_exploration(
     slice_spec=(1, 1),
     max_configs: int = None,
     mix: dict = None,
+    explorer: str = DEFAULT_EXPLORER,
+    seed: int = 0,
+    certificate_region: int = DEFAULT_CERTIFICATE_REGION,
 ) -> dict:
     """Run one sweep (or one slice of it); returns the JSON-ready payload.
 
@@ -145,10 +246,19 @@ def design_space_exploration(
     :func:`_mix_layers`): candidates are scored on the mix's weighted unique
     shapes instead of ``layers``, so the frontier optimises for the traffic
     actually served rather than one network run once.
+
+    ``explorer`` picks the frontier driver: the default exhaustive sweep
+    walks every candidate and its payload is unchanged from before the
+    smart explorers existed; ``halving``, ``local`` and ``evolution``
+    (:mod:`repro.dse.smart`) evaluate a subset and extend the payload with
+    ``explorer``, ``seed``, ``evaluated_count``, ``explorer_stats`` and the
+    trust-region exactness ``certificate``.  For smart runs ``slice_spec``
+    selects a seed *island* instead of an enumeration slice.
     """
     if engine is None:
         engine = get_default_engine()
     objectives = validate_objectives(objectives or ("dram", "energy", "time"))
+    explorer = validate_explorer(explorer)
     weights = None
     if mix is not None:
         if "stall_time" in objectives:
@@ -165,6 +275,65 @@ def design_space_exploration(
     if budget_kib <= 0:
         raise ValueError(f"budget must be positive, got {budget_kib} KiB")
     budget_words = kib_to_words(budget_kib)
+    slice_spec = validate_shard(*slice_spec)
+
+    if weights is None:
+        gmacs = total_macs(layers) / 1e9
+    else:
+        gmacs = sum(w * layer.macs for layer, w in zip(layers, weights)) / 1e9
+    header = {
+        "format": DSE_FORMAT,
+        "budget_kib": float(budget_kib),
+        "budget_words": budget_words,
+        "objectives": list(objectives),
+        "slice": list(slice_spec),
+        "space": space.as_dict(),
+        "max_configs": max_configs,
+        "mix": dict(mix) if mix is not None else None,
+        "layer_count": len(layers),
+        "gmacs": gmacs,
+    }
+
+    if explorer != DEFAULT_EXPLORER:
+        if max_configs is not None:
+            raise ValueError(
+                "max_configs truncates the canonical enumeration, which only "
+                "the 'exhaustive' explorer walks; drop max_configs or use "
+                "explorer='exhaustive'"
+            )
+        seed = validate_seed(seed)
+        result = run_smart_explorer(
+            score=lambda splits: score_config_rows(
+                engine,
+                layers,
+                [build_config(space, *split) for split in splits],
+                objectives,
+                weights=weights,
+            ),
+            objectives=objectives,
+            space=space,
+            budget_words=budget_words,
+            explorer=explorer,
+            seed=seed,
+            slice_spec=slice_spec,
+            backend=engine.backend,
+            certificate_region=certificate_region,
+        )
+        header.update(
+            {
+                "config_count_total": count_splits(budget_words, space),
+                "config_count": len(result["rows"]),
+                "infeasible_count": result["infeasible_count"],
+                "configs": result["rows"],
+                "frontier": result["frontier"],
+                "explorer": explorer,
+                "seed": seed,
+                "evaluated_count": result["evaluated_count"],
+                "explorer_stats": result["stats"],
+                "certificate": result["certificate"],
+            }
+        )
+        return header
 
     configs = enumerate_configs(budget_words, space, backend=engine.backend)
     if max_configs is not None:
@@ -176,76 +345,18 @@ def design_space_exploration(
     total_configs = len(configs)
     sliced = slice_configs(configs, slice_spec)
 
-    families = [
-        (config.psum_words, config.igbuf_words, config.wgbuf_words)
-        for config in sliced
-    ]
-    per_family = co_search_families(engine, layers, families)
-
-    include_stall_time = "stall_time" in objectives
-    rows = []
-    infeasible = 0
-    for config in sliced:
-        family = (config.psum_words, config.igbuf_words, config.wgbuf_words)
-        searched = per_family[family]
-        if searched is None:
-            infeasible += 1
-            continue
-        dataflow_wins = {}
-        for dataflow_name, _ in searched:
-            dataflow_wins[dataflow_name] = dataflow_wins.get(dataflow_name, 0) + 1
-        try:
-            scored = config_objectives(
-                config,
-                layers,
-                [traffic for _, traffic in searched],
-                include_stall_time=include_stall_time,
-                weights=weights,
-            )
-        except ValueError:
-            # The stall-aware objective runs the tile-level simulator with
-            # the accelerator's own tiling search, which is stricter than
-            # the family co-search (per-PE Psum fit, PE-aligned candidates);
-            # a config whose memories fit no tiling is simply infeasible.
-            infeasible += 1
-            continue
-        rows.append(
-            {
-                "config": config.name,
-                "pe_rows": config.pe_rows,
-                "pe_cols": config.pe_cols,
-                "num_pes": config.num_pes,
-                "lreg_words_per_pe": config.lreg_words_per_pe,
-                "igbuf_words": config.igbuf_words,
-                "wgbuf_words": config.wgbuf_words,
-                "psum_words": config.psum_words,
-                "effective_kib": config.effective_on_chip_kib,
-                "dataflows": dict(sorted(dataflow_wins.items())),
-                "objectives": scored,
-            }
-        )
-
-    if weights is None:
-        gmacs = total_macs(layers) / 1e9
-    else:
-        gmacs = sum(w * layer.macs for layer, w in zip(layers, weights)) / 1e9
-    return {
-        "format": DSE_FORMAT,
-        "budget_kib": float(budget_kib),
-        "budget_words": budget_words,
-        "objectives": list(objectives),
-        "slice": list(validate_shard(*slice_spec)),
-        "space": space.as_dict(),
-        "max_configs": max_configs,
-        "mix": dict(mix) if mix is not None else None,
-        "layer_count": len(layers),
-        "gmacs": gmacs,
-        "config_count_total": total_configs,
-        "config_count": len(rows),
-        "infeasible_count": infeasible,
-        "configs": rows,
-        "frontier": pareto_frontier(rows, objectives),
-    }
+    scored = score_config_rows(engine, layers, sliced, objectives, weights=weights)
+    rows = [row for row in scored if row is not None]
+    header.update(
+        {
+            "config_count_total": total_configs,
+            "config_count": len(rows),
+            "infeasible_count": scored.count(None),
+            "configs": rows,
+            "frontier": pareto_frontier(rows, objectives),
+        }
+    )
+    return header
 
 
 # ------------------------------------------------------------------- goldens
@@ -309,6 +420,9 @@ def write_dse_golden(path: str = None, engine=None) -> str:
 
 
 def _build_dse(ctx):
+    # ``explorer`` and ``seed`` are read with defaults instead of living in
+    # ``default_params``: unit ids hash the expanded params, so adding keys
+    # to the defaults would re-identify every archived dse unit.
     params = ctx.params
     space = params.get("space")
     return design_space_exploration(
@@ -320,7 +434,29 @@ def _build_dse(ctx):
         slice_spec=tuple(params["slice"]),
         max_configs=params.get("max_configs"),
         mix=params.get("mix"),
+        explorer=params.get("explorer", DEFAULT_EXPLORER),
+        seed=params.get("seed", 0),
     )
+
+
+def _validate_dse_params(params: dict) -> None:
+    """Fail fast on ``dse`` params no unit could run.
+
+    ``RunManifest.from_spec`` calls this per expanded variant, so a
+    hand-edited spec dies at manifest expansion with one exit-2 one-liner
+    instead of N failed units at execution time.
+    """
+    mix = params.get("mix")
+    if mix is not None:
+        validate_mix(mix)
+    explorer = validate_explorer(params.get("explorer", DEFAULT_EXPLORER))
+    validate_seed(params.get("seed", 0))
+    if explorer != DEFAULT_EXPLORER and params.get("max_configs") is not None:
+        raise ValueError(
+            "max_configs truncates the canonical enumeration, which only "
+            "the 'exhaustive' explorer walks; drop max_configs or use "
+            "explorer='exhaustive'"
+        )
 
 
 def _render_dse(payload, params):
@@ -344,5 +480,6 @@ register_experiment(
             "space": None,
             "mix": None,
         },
+        validate_params=_validate_dse_params,
     )
 )

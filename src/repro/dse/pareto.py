@@ -22,6 +22,8 @@ config name).
 
 from __future__ import annotations
 
+import json
+
 #: Default objective names of the DSE sweep, in canonical order.
 OBJECTIVE_KEYS = ("dram", "energy", "time")
 
@@ -88,9 +90,31 @@ def pareto_frontier(rows, objectives=OBJECTIVE_KEYS) -> list:
 
 
 def merge_frontiers(frontiers, objectives=OBJECTIVE_KEYS) -> list:
-    """Frontier of the union of shard frontiers (associative, order-free)."""
-    return pareto_frontier(
-        [row for frontier in frontiers for row in frontier], objectives
+    """Frontier of the union of shard frontiers (associative, order-free).
+
+    A *set* union: byte-identical rows collapse to one first, so a config
+    reached through overlapping shardings or smart-explorer seed islands
+    does not masquerade as a kept tie of itself.  Genuinely distinct rows
+    with equal objective vectors still tie and both stay.
+    """
+    unique = {}
+    for frontier in frontiers:
+        for row in frontier:
+            unique.setdefault(json.dumps(row, sort_keys=True), row)
+    return pareto_frontier(unique.values(), objectives)
+
+
+def frontier_non_dominated(frontier, rows, objectives=OBJECTIVE_KEYS) -> bool:
+    """Whether no candidate row strictly dominates any frontier point.
+
+    The contract a smart explorer's exactness certificate asserts against
+    the exhaustive sweep: a certified frontier may be a subset of the
+    evaluated space, but nothing the exhaustive enumeration found may beat
+    any of its points.
+    """
+    objectives = validate_objectives(objectives)
+    return not any(
+        dominates(row, kept, objectives) for kept in frontier for row in rows
     )
 
 

@@ -213,6 +213,36 @@ def _enumerate_vectorized(budget_words: int, space: CandidateSpace, pairs: list)
     )
 
 
+def count_splits(budget_words: int, space: CandidateSpace = None) -> int:
+    """``len(enumerate_splits(...))`` without materialising the list.
+
+    The smart explorers report the full space size in
+    ``config_count_total`` while only ever enumerating windowed sub-spaces;
+    at 10^8-point scale the count must not build 10^8 tuples.  Pure
+    arithmetic (a bisect over the sorted WGBuf axis per (pair, LReg,
+    IGBuf) combo), so there is no backend parameter to keep bit-identical.
+    """
+    from bisect import bisect_right
+
+    if budget_words < 1:
+        raise ValueError(f"budget must be at least one on-chip word, got {budget_words}")
+    if space is None:
+        space = CandidateSpace()
+    total = 0
+    for rows, cols in space.pe_pairs():
+        num_pes = rows * cols
+        for lreg in space.lreg_words:
+            psum = num_pes * lreg
+            if psum >= budget_words:
+                continue
+            remainder = budget_words - psum
+            for igbuf in space.igbuf_words:
+                if igbuf > remainder:
+                    break
+                total += bisect_right(space.wgbuf_words, remainder - igbuf)
+    return total
+
+
 def enumerate_configs(budget_words: int, space: CandidateSpace = None, backend: str = "auto") -> list:
     """Candidate :class:`AcceleratorConfig`\\ s under ``budget_words``.
 

@@ -148,6 +148,14 @@ def build_orchestration_parser() -> argparse.ArgumentParser:
         help="traffic experiment request-count override",
     )
     spec_parent.add_argument(
+        "--explorer",
+        choices=["exhaustive", "halving", "local", "evolution"],
+        default=None,
+        help="dse frontier explorer override (smart explorers attach a "
+        "trust-region exactness certificate and take --seed; with "
+        "--dse-slices, each slice becomes a seed island)",
+    )
+    spec_parent.add_argument(
         "--dse-slices",
         type=int,
         default=None,
@@ -397,32 +405,40 @@ def _build_spec(args) -> ManifestSpec:
                 "--experiments"
             )
         params["timing"] = {"bandwidths_gbps": list(args.bandwidths)}
+    dse_overrides = {}
+    if args.budget is not None:
+        dse_overrides["budget_kib"] = args.budget
+    if args.objectives:
+        dse_overrides["objectives"] = list(args.objectives)
+    if args.explorer is not None:
+        dse_overrides["explorer"] = args.explorer
+        if args.seed is not None and args.explorer != "exhaustive":
+            dse_overrides["seed"] = args.seed
+    if (dse_overrides or args.dse_slices is not None) and "dse" not in experiments:
+        # Silently dropping the options would run a "sweep" with no dse
+        # units in it; fail fast instead.
+        raise ValueError(
+            "--budget/--objectives/--explorer/--dse-slices configure the "
+            "'dse' experiment, which is not in this run's --experiments "
+            "list; add 'dse' to --experiments"
+        )
     traffic_overrides = {}
     if args.seed is not None:
         traffic_overrides["seed"] = args.seed
     if args.requests is not None:
         traffic_overrides["requests"] = args.requests
     if traffic_overrides:
-        if "traffic" not in experiments:
+        if "traffic" in experiments:
+            params["traffic"] = traffic_overrides
+        elif args.requests is not None or "seed" not in dse_overrides:
+            # --seed alone is also meaningful as a smart dse explorer seed;
+            # anything else still needs the traffic experiment in the run.
             raise ValueError(
                 "--seed/--requests configure the 'traffic' experiment, which "
                 "is not in this run's --experiments list; add 'traffic' to "
-                "--experiments"
+                "--experiments (or pass a smart --explorer for --seed to "
+                "configure the 'dse' explorer instead)"
             )
-        params["traffic"] = traffic_overrides
-    dse_overrides = {}
-    if args.budget is not None:
-        dse_overrides["budget_kib"] = args.budget
-    if args.objectives:
-        dse_overrides["objectives"] = list(args.objectives)
-    if (dse_overrides or args.dse_slices is not None) and "dse" not in experiments:
-        # Silently dropping the options would run a "sweep" with no dse
-        # units in it; fail fast instead.
-        raise ValueError(
-            "--budget/--objectives/--dse-slices configure the 'dse' "
-            "experiment, which is not in this run's --experiments list; "
-            "add 'dse' to --experiments"
-        )
     if args.dse_slices is not None:
         if args.dse_slices < 1:
             raise ValueError(f"--dse-slices must be >= 1, got {args.dse_slices}")

@@ -52,6 +52,11 @@ class Experiment:
     mix is only meaningful on an LLM decode family, so a ``reproduce-all``
     over the CNN workloads still gets exactly one traffic unit on its pinned
     LLM workload rather than three meaningless (failing) ones.
+
+    ``validate_params`` optionally checks one expanded params dict and
+    raises ``ValueError`` on params no unit could run.  The run manifest
+    calls it per variant at expansion time, so a hand-edited spec fails
+    fast with one exit-2 message instead of N failed units mid-run.
     """
 
     name: str
@@ -61,6 +66,7 @@ class Experiment:
     uses_search: bool = False
     default_params: dict = field(default_factory=dict)
     workloads: tuple = None
+    validate_params: object = field(default=None, repr=False)
 
 
 _REGISTRY = {}

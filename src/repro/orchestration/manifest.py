@@ -168,6 +168,11 @@ class RunManifest:
                 # Round-trip through JSON so tuples/ints normalise exactly
                 # like a manifest reloaded from disk would.
                 params_json = canonical_json(json.loads(canonical_json(params)))
+                if experiment.validate_params is not None:
+                    # Validate the normalised form -- the dict a unit will
+                    # actually be built from, whether the spec came from the
+                    # CLI or a hand-edited run.json.
+                    experiment.validate_params(json.loads(params_json))
                 backends = spec.backends if experiment.uses_search else (NO_BACKEND,)
                 # An experiment may pin its own workloads (e.g. ``traffic``
                 # only runs on its LLM serving mix); otherwise the spec's

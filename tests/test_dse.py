@@ -18,6 +18,8 @@ The acceptance contract under test:
 from __future__ import annotations
 
 import json
+import os
+import shutil
 
 import pytest
 
@@ -25,7 +27,7 @@ from repro.arch.accelerator import AcceleratorModel
 from repro.arch.config import PAPER_IMPLEMENTATIONS, paper_implementation
 from repro.cli import main
 from repro.dse.artifacts import merge_dse_artifacts
-from repro.dse.explore import design_space_exploration, slice_configs
+from repro.dse.explore import design_space_exploration, slice_configs, validate_mix
 from repro.dse.objectives import config_objectives, estimate_counts
 from repro.dse.pareto import (
     contains_or_dominates,
@@ -574,3 +576,150 @@ class TestDseExperimentAndCli:
             "--budget", "24",
         ]) == 2
         assert "add 'dse' to --experiments" in capsys.readouterr().err
+
+
+# ------------------------------------------- merge conflicts and param checks
+
+
+def _run_tiny_dse(out_dir: str, params=None) -> None:
+    spec = ManifestSpec(
+        workloads=("tiny",),
+        experiments=("dse",),
+        params={"dse": params if params is not None else {"budget_kib": TINY_BUDGET_KIB}},
+    )
+    assert Runner(RunManifest.from_spec(spec), out_dir).run().complete
+
+
+def _dse_unit_paths(out_dir: str) -> list:
+    units_dir = os.path.join(out_dir, "units")
+    return sorted(
+        path
+        for path in (os.path.join(units_dir, name) for name in os.listdir(units_dir))
+        if path.endswith(".json")
+        and json.load(open(path)).get("experiment") == "dse"
+    )
+
+
+class TestMergeConflicts:
+    def test_identical_duplicate_units_dedupe(self, tmp_path, tiny_sweep):
+        """The same tree twice (byte-identical unit ids) merges like once."""
+        first = str(tmp_path / "first")
+        _run_tiny_dse(first)
+        second = str(tmp_path / "second")
+        shutil.copytree(first, second)
+        report = merge_dse_artifacts([first, second])
+        (group,) = report["groups"]
+        assert group["complete"]
+        assert group["config_count"] == tiny_sweep["config_count"]
+        assert canonical(group["frontier"]) == canonical(tiny_sweep["frontier"])
+
+    def test_tampered_duplicate_unit_raises(self, tmp_path):
+        """A unit id whose artifacts disagree across trees is a conflict,
+        not a silent first-tree-wins (the regression this guards)."""
+        first = str(tmp_path / "first")
+        _run_tiny_dse(first)
+        second = str(tmp_path / "second")
+        shutil.copytree(first, second)
+        path = _dse_unit_paths(second)[0]
+        document = json.load(open(path))
+        document["payload"]["gmacs"] *= 2
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="differs between run trees"):
+            merge_dse_artifacts([first, second])
+
+    def test_group_field_disagreement_raises(self, tmp_path):
+        """Distinct units of one sweep whose derived payload fields disagree
+        (here a tampered config_count_total) must refuse to merge instead of
+        adopting whichever payload sorted first."""
+        whole = str(tmp_path / "whole")
+        _run_tiny_dse(whole)
+        sliced = str(tmp_path / "sliced")
+        _run_tiny_dse(
+            sliced,
+            params=[
+                {"budget_kib": TINY_BUDGET_KIB, "slice": [1, 2]},
+                {"budget_kib": TINY_BUDGET_KIB, "slice": [2, 2]},
+            ],
+        )
+        path = _dse_unit_paths(sliced)[0]
+        document = json.load(open(path))
+        document["payload"]["config_count_total"] += 1
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="disagree on config_count_total"):
+            merge_dse_artifacts([whole, sliced])
+
+    def test_more_slices_than_configs_merge_cleanly(self, tmp_path):
+        """--dse-slices beyond the config count leaves empty units that must
+        still complete the sweep and merge to the capped frontier."""
+        out_dir = str(tmp_path / "run")
+        _run_tiny_dse(
+            out_dir,
+            params=[
+                {"budget_kib": TINY_BUDGET_KIB, "max_configs": 2, "slice": [index, 5]}
+                for index in range(1, 6)
+            ],
+        )
+        report = merge_dse_artifacts([out_dir])
+        (group,) = report["groups"]
+        assert group["complete"]
+        assert group["config_count_total"] == 2
+        assert group["config_count"] <= 2
+        assert group["frontier"]
+
+
+class TestMixValidation:
+    def test_mix_requires_a_model(self):
+        with pytest.raises(ValueError, match="needs a 'model'"):
+            validate_mix({})
+        with pytest.raises(ValueError, match="needs a 'model'"):
+            validate_mix({"model": 7})
+        with pytest.raises(ValueError, match="must be a params dict"):
+            validate_mix("llama_decode:32")
+
+    def test_mix_rejects_unknown_override_keys(self):
+        with pytest.raises(ValueError, match="unknown traffic-mix override keys"):
+            validate_mix({"model": "llama_decode:32", "reqests": 10})
+
+    def test_sweep_surfaces_mix_errors_as_value_errors(self):
+        engine = SearchEngine()
+        with pytest.raises(ValueError, match="needs a 'model'"):
+            design_space_exploration(
+                budget_kib=TINY_BUDGET_KIB, layers="tiny", engine=engine, mix={}
+            )
+
+    def test_hand_edited_spec_fails_at_manifest_expansion(self):
+        spec = ManifestSpec(
+            workloads=("tiny",),
+            experiments=("dse",),
+            params={"dse": {"budget_kib": TINY_BUDGET_KIB, "mix": {"model": None}}},
+        )
+        with pytest.raises(ValueError, match="needs a 'model'"):
+            RunManifest.from_spec(spec)
+        bad_explorer = ManifestSpec(
+            workloads=("tiny",),
+            experiments=("dse",),
+            params={"dse": {"budget_kib": TINY_BUDGET_KIB, "explorer": "annealing"}},
+        )
+        with pytest.raises(ValueError, match="unknown explorer"):
+            RunManifest.from_spec(bad_explorer)
+
+    def test_resume_with_hand_edited_bad_mix_exits_2(self, tmp_path, capsys):
+        """The S2 end-to-end check: a hand-edited run.json dies at manifest
+        expansion with the standard exit-2 one-liner, not a KeyError."""
+        out_dir = str(tmp_path / "run")
+        assert main([
+            "run", "--out-dir", out_dir, "--workloads", "tiny",
+            "--experiments", "dse", "--budget", str(TINY_BUDGET_KIB),
+        ]) == 0
+        capsys.readouterr()
+        run_path = os.path.join(out_dir, "run.json")
+        metadata = json.load(open(run_path))
+        metadata["spec"]["params"]["dse"]["mix"] = {"wrong": 1}
+        with open(run_path, "w") as handle:
+            json.dump(metadata, handle)
+        assert main(["resume", "--out-dir", out_dir]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "needs a 'model'" in err

@@ -28,7 +28,7 @@ from repro.dse.pareto import (
     merge_frontiers,
     pareto_frontier,
 )
-from repro.dse.space import CandidateSpace, enumerate_splits
+from repro.dse.space import CandidateSpace, count_splits, enumerate_splits
 
 OBJ = ("dram", "energy", "time")
 
@@ -138,4 +138,13 @@ class TestEnumerationProperties:
         pytest.importorskip("numpy")
         assert enumerate_splits(budget, space, backend="numpy") == enumerate_splits(
             budget, space, backend="python"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(space=candidate_spaces(), budget=st.integers(1, 200_000))
+    def test_count_splits_matches_enumeration(self, space, budget):
+        # The arithmetic space-size count (what smart-explorer payloads
+        # report as config_count_total) agrees with materialisation.
+        assert count_splits(budget, space) == len(
+            enumerate_splits(budget, space, backend="python")
         )
